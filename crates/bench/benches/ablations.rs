@@ -1,0 +1,74 @@
+//! Ablation benches for the design choices DESIGN.md calls out: the
+//! misprediction threshold, the table sizes/replacement policy, the
+//! scheduler pairing, and the eager wake-up. Criterion times the runs
+//! (results themselves are deterministic per configuration).
+
+use caps_core::{caps_factory_with, CapConfig};
+use caps_gpu_sim::gpu::{Gpu, DEFAULT_MAX_CYCLES};
+use caps_metrics::{run_one, Engine, RunSpec};
+use caps_workloads::{Scale, Workload};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn run_cap_config(cfg: CapConfig) -> caps_gpu_sim::stats::Stats {
+    let kernel = Workload::Jc1.kernel(Scale::Small);
+    let gcfg = caps_core::caps_config(&caps_gpu_sim::config::GpuConfig::fermi_gtx480());
+    let factory = caps_factory_with(cfg);
+    Gpu::new(gcfg, kernel, &*factory).run_launches(1, DEFAULT_MAX_CYCLES)
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+
+    // Misprediction-threshold sweep (paper default 128).
+    for threshold in [2u8, 128] {
+        g.bench_function(format!("mispredict_threshold/{threshold}"), |b| {
+            b.iter(|| {
+                run_cap_config(CapConfig {
+                    mispredict_threshold: threshold,
+                    ..CapConfig::default()
+                })
+            })
+        });
+    }
+
+    // PerCTA entry-count sweep (paper default 4).
+    for entries in [2usize, 4, 8] {
+        g.bench_function(format!("per_cta_entries/{entries}"), |b| {
+            b.iter(|| {
+                run_cap_config(CapConfig {
+                    per_cta_entries: entries,
+                    ..CapConfig::default()
+                })
+            })
+        });
+    }
+
+    // Replacement policy: pinning (default) vs. the paper's LRU text.
+    for (name, lru) in [("pinned", false), ("lru", true)] {
+        g.bench_function(format!("table_replacement/{name}"), |b| {
+            b.iter(|| {
+                run_cap_config(CapConfig {
+                    lru_replacement: lru,
+                    ..CapConfig::default()
+                })
+            })
+        });
+    }
+
+    // Scheduler pairing for the CAP engine (Fig. 14b as an ablation).
+    for (name, engine) in [
+        ("lrr", Engine::CapsOnLrr),
+        ("tlv", Engine::CapsOnTlv),
+        ("pas", Engine::Caps),
+        ("pas_no_wakeup", Engine::CapsNoWakeup),
+    ] {
+        g.bench_function(format!("cap_scheduler/{name}"), |b| {
+            b.iter(|| run_one(&RunSpec::small(Workload::Jc1, engine)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,143 @@
+//! Component microbenchmarks: the hot structures on the simulator's
+//! per-cycle path (cache, MSHR, coalescer, CAP tables, scheduler).
+
+use caps_core::{CapConfig, CtaAwarePrefetcher};
+use caps_gpu_sim::cache::Cache;
+use caps_gpu_sim::coalescer::coalesce;
+use caps_gpu_sim::config::GpuConfig;
+use caps_gpu_sim::isa::{AddrPattern, AffinePattern, CtaTerm};
+use caps_gpu_sim::mshr::{MshrFile, Waiter};
+use caps_gpu_sim::prefetch::{DemandObservation, Prefetcher};
+use caps_gpu_sim::sched::{TwoLevelScheduler, WarpScheduler};
+use caps_gpu_sim::types::CtaCoord;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_cache(c: &mut Criterion) {
+    let cfg = GpuConfig::fermi_gtx480();
+    c.bench_function("cache/l1_access_fill_cycle", |b| {
+        let mut cache = Cache::new(cfg.l1d);
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = (addr + 128) % (1 << 20);
+            if matches!(
+                cache.access(black_box(addr)),
+                caps_gpu_sim::cache::Lookup::Miss
+            ) {
+                cache.fill(addr, None);
+            }
+        })
+    });
+}
+
+fn bench_mshr(c: &mut Criterion) {
+    c.bench_function("mshr/alloc_complete", |b| {
+        let mut m = MshrFile::new(32, 8);
+        let mut line = 0u64;
+        let mut live: Vec<u64> = Vec::new();
+        b.iter(|| {
+            line = (line + 128) % (1 << 16);
+            if m.free() == 0 {
+                let victim = live.remove(0);
+                m.complete(black_box(victim));
+            }
+            if !m.contains(line) {
+                live.push(line);
+            }
+            let _ = m.demand_miss(line, Waiter { warp: 0 });
+        })
+    });
+}
+
+fn bench_coalescer(c: &mut Criterion) {
+    let dense = AddrPattern::Affine(AffinePattern::dense(0, CtaTerm::Linear { pitch: 4096 }));
+    let divergent = AddrPattern::Affine(AffinePattern {
+        base: 0,
+        cta_term: CtaTerm::Linear { pitch: 4096 },
+        warp_stride: 0,
+        lane_stride: 128,
+        iter_stride: 0,
+    });
+    let cta = CtaCoord::from_linear(7, 16);
+    let mut out = Vec::new();
+    c.bench_function("coalescer/dense_warp", |b| {
+        b.iter(|| coalesce(black_box(&dense), cta, 3, 0, 32, 128, &mut out))
+    });
+    c.bench_function("coalescer/divergent_warp", |b| {
+        b.iter(|| coalesce(black_box(&divergent), cta, 3, 0, 32, 128, &mut out))
+    });
+}
+
+fn bench_cap_tables(c: &mut Criterion) {
+    c.bench_function("cap/on_demand_trailing_verify", |b| {
+        let mut cap = CtaAwarePrefetcher::with_config(CapConfig::default());
+        let cta = CtaCoord::from_linear(0, 16);
+        cap.on_cta_launch(0, cta);
+        let mut out = Vec::new();
+        // Register lead + stride once.
+        for (w, a) in [(0u32, 0x1000u64), (1, 0x1200)] {
+            let lines = [a];
+            let obs = DemandObservation {
+                cycle: 0,
+                pc: 8,
+                cta_slot: 0,
+                cta,
+                warp_in_cta: w,
+                warp_slot: w as usize,
+                warps_per_cta: 8,
+                lines: &lines,
+                is_affine: true,
+                iter: 0,
+            };
+            cap.on_demand(&obs, &mut out);
+        }
+        let mut w = 2u32;
+        b.iter(|| {
+            w = 2 + (w + 1) % 6;
+            let lines = [0x1000 + 0x200 * w as u64];
+            let obs = DemandObservation {
+                cycle: 0,
+                pc: 8,
+                cta_slot: 0,
+                cta,
+                warp_in_cta: w,
+                warp_slot: w as usize,
+                warps_per_cta: 8,
+                lines: &lines,
+                is_affine: true,
+                iter: 0,
+            };
+            out.clear();
+            cap.on_demand(black_box(&obs), &mut out);
+        })
+    });
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    c.bench_function("sched/two_level_pick_demote_cycle", |b| {
+        let mut s = TwoLevelScheduler::new(8, true, false);
+        for w in 0..48 {
+            s.on_launch(w, w % 8 == 0, (w % 2) as u8);
+        }
+        let mut i = 0usize;
+        b.iter(|| {
+            let mut any = |_w: usize| true;
+            if let Some(w) = s.pick(0, &mut any) {
+                if i.is_multiple_of(3) {
+                    s.on_long_latency(w);
+                    s.on_ready_again(w);
+                }
+            }
+            i += 1;
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_cache,
+    bench_mshr,
+    bench_coalescer,
+    bench_cap_tables,
+    bench_scheduler
+);
+criterion_main!(benches);

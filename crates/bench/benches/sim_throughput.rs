@@ -1,0 +1,28 @@
+//! Simulator throughput: wall-clock cost of whole-GPU simulation at
+//! reduced scale, per engine. (Simulated-cycle results are deterministic;
+//! this measures the *simulator*, not the GPU.)
+
+use caps_metrics::{run_one, Engine, RunSpec};
+use caps_workloads::Workload;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_throughput");
+    g.sample_size(10);
+    for (name, engine) in [
+        ("baseline", Engine::Baseline),
+        ("caps", Engine::Caps),
+        ("inter", Engine::Inter),
+    ] {
+        g.bench_function(format!("mm_small/{name}"), |b| {
+            b.iter(|| run_one(&RunSpec::small(Workload::Mm, engine)))
+        });
+    }
+    g.bench_function("jc1_small/caps", |b| {
+        b.iter(|| run_one(&RunSpec::small(Workload::Jc1, Engine::Caps)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Extension experiment: sensitivity of the CAPS speedup to the main
+//! microarchitectural knobs around Table III (L1D size, MSHR count,
+//! ready-queue size, prefetch-queue depth).
+
+use caps_metrics::{standard_axes, sweep, Engine, Table};
+use caps_workloads::{Scale, Workload};
+
+fn main() {
+    let small = std::env::args().any(|a| a == "--small");
+    let scale = if small { Scale::Small } else { Scale::Full };
+    let workloads = if small {
+        vec![Workload::Jc1]
+    } else {
+        vec![Workload::Lps, Workload::Jc1, Workload::Cnv, Workload::Mrq]
+    };
+    println!("Sensitivity of mean CAPS speedup (vs. same-config baseline)\n");
+    for (axis, points) in standard_axes() {
+        let r = sweep(&axis, points, &workloads, Engine::Caps, scale);
+        let mut t = Table::new(&[axis.as_str(), "CAPS speedup"]);
+        for (l, s) in r.labels.iter().zip(&r.speedup) {
+            t.row(vec![l.clone(), format!("{s:.3}")]);
+        }
+        println!("{}", t.render());
+    }
+}

@@ -1,0 +1,12 @@
+//! Regenerates Figure 1: inter-warp prefetch accuracy and cycle gap vs.
+//! warp distance on matrixMul.
+fn main() {
+    let scale = caps_bench::scale_from_args();
+    let pts = caps_bench::fig01::compute(scale);
+    println!("Figure 1 — inter-warp stride prefetch on MM (8 warps/CTA)\n");
+    println!("{}", caps_bench::fig01::render(&pts));
+    println!(
+        "CTA-boundary accuracy cliff observed: {}",
+        caps_bench::fig01::shows_cta_boundary_cliff(&pts)
+    );
+}

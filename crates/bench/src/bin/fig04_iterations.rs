@@ -1,0 +1,7 @@
+//! Regenerates Figure 4: loop-iteration counts of the most frequent
+//! loads and the repeated/total static-load ratios.
+fn main() {
+    let rows = caps_bench::fig04::compute();
+    println!("Figure 4 — load iteration characterization\n");
+    println!("{}", caps_bench::fig04::render(&rows));
+}

@@ -1,0 +1,13 @@
+//! Regenerates the §IV/Figure 5-6 demonstration: irregular CTA base
+//! addresses with a kernel-wide warp stride.
+use caps_workloads::Workload;
+fn main() {
+    for w in [Workload::Lps, Workload::Mm, Workload::Bfs] {
+        let d = caps_bench::fig05::compute_for(w);
+        println!("{}", caps_bench::fig05::render(&d));
+        println!(
+            "irregular bases + constant warp stride: {}\n",
+            caps_bench::fig05::demonstrates_cap_premise(&d)
+        );
+    }
+}

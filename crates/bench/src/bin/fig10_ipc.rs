@@ -1,0 +1,8 @@
+//! Regenerates Figure 10: normalized IPC of all prefetcher
+//! configurations over the two-level baseline.
+fn main() {
+    let scale = caps_bench::scale_from_args();
+    let fig = caps_bench::fig10::compute(scale);
+    println!("Figure 10 — normalized IPC over two-level scheduler without prefetch\n");
+    println!("{}", caps_bench::fig10::render(&fig));
+}

@@ -1,0 +1,11 @@
+//! Regenerates Figure 11: performance vs. maximum concurrent CTAs.
+fn main() {
+    let scale = caps_bench::scale_from_args();
+    let fig = caps_bench::fig11::compute(scale);
+    println!("Figure 11 — mean IPC vs concurrent CTAs (normalized to 8-CTA baseline)\n");
+    println!("{}", caps_bench::fig11::render(&fig));
+    println!(
+        "CAPS improves with CTA count: {}",
+        caps_bench::fig11::caps_improves_with_ctas(&fig)
+    );
+}

@@ -1,0 +1,13 @@
+//! Regenerates Figure 12: prefetch coverage and accuracy.
+fn main() {
+    let scale = caps_bench::scale_from_args();
+    let fig = caps_bench::fig12::compute(scale);
+    println!("Figure 12 — prefetch coverage and accuracy\n");
+    println!("{}", caps_bench::fig12::render(&fig));
+    let (cov, acc) = caps_bench::fig12::caps_means(&fig);
+    println!(
+        "CAPS means: coverage {:.1}%, accuracy {:.1}%",
+        cov * 100.0,
+        acc * 100.0
+    );
+}

@@ -1,0 +1,11 @@
+//! Regenerates Figure 13: bandwidth overhead of prefetching.
+fn main() {
+    let scale = caps_bench::scale_from_args();
+    let fig = caps_bench::fig13::compute(scale);
+    println!("Figure 13 — bandwidth overhead (normalized to no-prefetch baseline)\n");
+    println!("{}", caps_bench::fig13::render(&fig));
+    println!(
+        "CAPS request-traffic overhead: {:+.1}%",
+        caps_bench::fig13::caps_request_overhead(&fig) * 100.0
+    );
+}

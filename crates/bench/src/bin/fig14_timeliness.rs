@@ -1,0 +1,7 @@
+//! Regenerates Figure 14: early-prefetch ratio and prefetch distance.
+fn main() {
+    let scale = caps_bench::scale_from_args();
+    let fig = caps_bench::fig14::compute(scale);
+    println!("Figure 14 — timeliness of prefetching\n");
+    println!("{}", caps_bench::fig14::render(&fig));
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 15: normalized energy under CAPS.
+fn main() {
+    let scale = caps_bench::scale_from_args();
+    let fig = caps_bench::fig15::compute(scale);
+    println!("Figure 15 — energy consumption of CAPS (normalized)\n");
+    println!("{}", caps_bench::fig15::render(&fig));
+}

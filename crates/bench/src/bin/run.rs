@@ -1,0 +1,120 @@
+//! General-purpose runner: simulate one (benchmark, engine) pair and
+//! print the full statistics.
+//!
+//! ```text
+//! run <BENCH> <ENGINE> [--small] [--ctas N] [--kepler]
+//!   BENCH:  CP LPS BPR HSP MRQ STE CNV HST JC1 FFT SCN MM PVR CCL BFS KM
+//!   ENGINE: base intra inter mta nlp lap orch caps caps-nw
+//!           caps@lrr caps@tlv caps@gto
+//! ```
+
+use caps_gpu_sim::config::GpuConfig;
+use caps_metrics::{run_one, Engine, RunSpec, Table};
+use caps_workloads::{all_workloads, Scale};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: run <BENCH> <ENGINE> [--small] [--ctas N] [--kepler]\n\
+         BENCH:  {}\n\
+         ENGINE: base intra inter mta nlp lap orch caps caps-nw caps@lrr caps@tlv caps@gto",
+        all_workloads()
+            .iter()
+            .map(|w| w.abbr())
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        usage();
+    }
+    let workload = all_workloads()
+        .into_iter()
+        .find(|w| w.abbr().eq_ignore_ascii_case(&args[0]))
+        .unwrap_or_else(|| usage());
+    let engine = match args[1].to_ascii_lowercase().as_str() {
+        "base" | "baseline" => Engine::Baseline,
+        "intra" => Engine::Intra,
+        "inter" => Engine::Inter,
+        "mta" => Engine::Mta,
+        "nlp" => Engine::Nlp,
+        "lap" => Engine::Lap,
+        "orch" => Engine::Orch,
+        "caps" => Engine::Caps,
+        "caps-nw" => Engine::CapsNoWakeup,
+        "caps@lrr" => Engine::CapsOnLrr,
+        "caps@tlv" => Engine::CapsOnTlv,
+        "caps@gto" => Engine::CapsOnPasGto,
+        _ => usage(),
+    };
+    let mut spec = RunSpec::paper(workload, engine);
+    if args.iter().any(|a| a == "--small") {
+        spec.scale = Scale::Small;
+    }
+    if args.iter().any(|a| a == "--kepler") {
+        spec.base_config = GpuConfig::kepler_like();
+    }
+    if let Some(i) = args.iter().position(|a| a == "--ctas") {
+        let n: usize = args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| usage());
+        spec.base_config.max_ctas_per_sm = n;
+    }
+
+    let r = run_one(&spec);
+    let s = &r.stats;
+    println!("{} under {}\n", r.workload, r.engine);
+    let mut t = Table::new(&["metric", "value"]);
+    let rows: Vec<(&str, String)> = vec![
+        ("cycles", format!("{}", s.cycles)),
+        ("warp instructions", format!("{}", s.warp_instructions)),
+        ("IPC", format!("{:.3}", s.ipc())),
+        ("CTAs completed", format!("{}", s.ctas_completed)),
+        ("L1D accesses", format!("{}", s.l1d_demand_accesses)),
+        (
+            "L1D miss rate",
+            format!("{:.1}%", s.l1d_miss_rate() * 100.0),
+        ),
+        (
+            "L2 hit rate",
+            format!(
+                "{:.1}%",
+                100.0 * s.l2_hits as f64 / s.l2_accesses.max(1) as f64
+            ),
+        ),
+        (
+            "DRAM reads / writes",
+            format!("{} / {}", s.dram_reads, s.dram_writes),
+        ),
+        (
+            "DRAM row-hit rate",
+            format!(
+                "{:.1}%",
+                100.0 * s.dram_row_hits as f64
+                    / (s.dram_row_hits + s.dram_row_misses).max(1) as f64
+            ),
+        ),
+        ("prefetches issued", format!("{}", s.prefetch_issued)),
+        ("prefetch coverage", format!("{:.1}%", s.coverage() * 100.0)),
+        ("prefetch accuracy", format!("{:.1}%", s.accuracy() * 100.0)),
+        (
+            "early-prefetch ratio",
+            format!("{:.1}%", s.early_prefetch_ratio() * 100.0),
+        ),
+        (
+            "prefetch distance",
+            format!("{:.0} cycles", s.mean_prefetch_distance()),
+        ),
+        ("prefetch wake-ups", format!("{}", s.prefetch_wakeups)),
+        ("mispredicts", format!("{}", s.prefetch_mispredicts)),
+        ("energy", format!("{:.3} mJ", r.energy.total_mj())),
+    ];
+    for (k, v) in rows {
+        t.row(vec![k.to_string(), v]);
+    }
+    println!("{}", t.render());
+}

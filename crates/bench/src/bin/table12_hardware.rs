@@ -1,0 +1,4 @@
+//! Regenerates Tables I and II: CAPS hardware budget.
+fn main() {
+    println!("{}", caps_bench::tables::render_tables_1_2());
+}

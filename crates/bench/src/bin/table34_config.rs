@@ -1,0 +1,5 @@
+//! Regenerates Tables III and IV: GPU configuration and workloads.
+fn main() {
+    println!("{}", caps_bench::tables::render_table_3());
+    println!("{}", caps_bench::tables::render_table_4());
+}

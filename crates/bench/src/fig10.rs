@@ -1,0 +1,112 @@
+//! Figure 10 — normalized IPC of the seven prefetcher configurations
+//! over the two-level-scheduler baseline, per benchmark plus the
+//! regular / irregular / overall means.
+
+use caps_metrics::{mean, Engine, Table};
+use caps_workloads::{Scale, Workload};
+
+use crate::run_grid;
+
+/// One benchmark's normalized-IPC row.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Benchmark abbreviation.
+    pub workload: String,
+    /// Whether the benchmark is in the irregular group.
+    pub irregular: bool,
+    /// Normalized IPC per engine, in [`Engine::FIGURE10`] order.
+    pub normalized: Vec<f64>,
+}
+
+/// The full figure: per-benchmark rows plus the three mean rows.
+#[derive(Debug, Clone)]
+pub struct Figure10 {
+    /// Engine labels (column headers).
+    pub engines: Vec<&'static str>,
+    /// Per-benchmark rows in paper order.
+    pub rows: Vec<Row>,
+    /// Mean over the 12 regular benchmarks.
+    pub mean_regular: Vec<f64>,
+    /// Mean over the 4 irregular benchmarks.
+    pub mean_irregular: Vec<f64>,
+    /// Mean over all 16.
+    pub mean_all: Vec<f64>,
+}
+
+/// Run the full evaluation matrix and normalize.
+pub fn compute(scale: Scale) -> Figure10 {
+    compute_for(&crate::workloads(), scale)
+}
+
+/// Matrix over an explicit workload list (tests use a subset).
+pub fn compute_for(workloads: &[Workload], scale: Scale) -> Figure10 {
+    let engines = crate::engines_with_baseline();
+    let recs = run_grid(workloads, &engines, scale);
+    let per = engines.len();
+    let mut rows = Vec::new();
+    for (i, &w) in workloads.iter().enumerate() {
+        let base_ipc = recs[i * per].ipc();
+        let normalized = (1..per)
+            .map(|j| recs[i * per + j].ipc() / base_ipc)
+            .collect();
+        rows.push(Row {
+            workload: w.abbr().to_string(),
+            irregular: w.info().irregular,
+            normalized,
+        });
+    }
+    let col =
+        |rows: &[&Row], j: usize| mean(&rows.iter().map(|r| r.normalized[j]).collect::<Vec<_>>());
+    let reg: Vec<&Row> = rows.iter().filter(|r| !r.irregular).collect();
+    let irr: Vec<&Row> = rows.iter().filter(|r| r.irregular).collect();
+    let all: Vec<&Row> = rows.iter().collect();
+    let n_engines = Engine::FIGURE10.len();
+    Figure10 {
+        engines: Engine::FIGURE10.iter().map(|e| e.label()).collect(),
+        mean_regular: (0..n_engines).map(|j| col(&reg, j)).collect(),
+        mean_irregular: (0..n_engines).map(|j| col(&irr, j)).collect(),
+        mean_all: (0..n_engines).map(|j| col(&all, j)).collect(),
+        rows,
+    }
+}
+
+/// Render the paper's table: one row per benchmark, then the means.
+pub fn render(fig: &Figure10) -> String {
+    let mut header = vec!["bench"];
+    header.extend(fig.engines.iter());
+    let mut t = Table::new(&header);
+    for r in &fig.rows {
+        let mut cells = vec![r.workload.clone()];
+        cells.extend(r.normalized.iter().map(|&x| format!("{x:.3}")));
+        t.row(cells);
+    }
+    for (label, means) in [
+        ("Mean(reg)", &fig.mean_regular),
+        ("Mean(irreg)", &fig.mean_irregular),
+        ("Mean(all)", &fig.mean_all),
+    ] {
+        let mut cells = vec![label.to_string()];
+        cells.extend(means.iter().map(|&x| format!("{x:.3}")));
+        t.row(cells);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_matrix_normalizes_against_baseline() {
+        let fig = compute_for(&[Workload::Jc1, Workload::Bfs], Scale::Small);
+        assert_eq!(fig.rows.len(), 2);
+        assert_eq!(fig.rows[0].normalized.len(), 7);
+        assert!(fig
+            .rows
+            .iter()
+            .all(|r| r.normalized.iter().all(|&x| x > 0.0)));
+        let s = render(&fig);
+        assert!(s.contains("CAPS"));
+        assert!(s.contains("Mean(all)"));
+    }
+}

@@ -1,0 +1,100 @@
+//! Figure 14 — timeliness of prefetching: (a) the early-prefetch ratio
+//! (prefetched data evicted before use) for the stride prefetchers and
+//! CAPS with/without the eager warp wake-up; (b) the mean
+//! prefetch-to-demand distance of CAP on LRR, the unmodified two-level
+//! scheduler, and the prefetch-aware two-level scheduler.
+
+use caps_metrics::{mean, Engine, Table};
+use caps_workloads::{Scale, Workload};
+
+use crate::run_grid;
+
+/// Both panels, averaged over the workload set.
+#[derive(Debug, Clone)]
+pub struct Figure14 {
+    /// Panel (a): engine label → mean early-prefetch ratio.
+    pub early_ratio: Vec<(&'static str, f64)>,
+    /// Panel (b): scheduler label → mean prefetch distance (cycles).
+    pub distance: Vec<(&'static str, f64)>,
+}
+
+/// Compute over an explicit workload list.
+pub fn compute_for(workloads: &[Workload], scale: Scale) -> Figure14 {
+    // (a) early prefetch ratio.
+    let a_engines = [
+        Engine::Intra,
+        Engine::Inter,
+        Engine::Mta,
+        Engine::Caps,
+        Engine::CapsNoWakeup,
+    ];
+    let recs = run_grid(workloads, &a_engines, scale);
+    let per = a_engines.len();
+    let mut early_ratio = Vec::new();
+    for (j, e) in a_engines.iter().enumerate() {
+        let vals: Vec<f64> = (0..workloads.len())
+            .map(|i| recs[i * per + j].stats.early_prefetch_ratio())
+            .collect();
+        let label = match e {
+            Engine::CapsNoWakeup => "CAPS w/o Wakeup",
+            other => other.label(),
+        };
+        early_ratio.push((label, mean(&vals)));
+    }
+
+    // (b) prefetch distance under the three schedulers (paper: LRR,
+    // TLV, PA-TLV with the CAP engine fixed).
+    let b_engines = [Engine::CapsOnLrr, Engine::CapsOnTlv, Engine::Caps];
+    let labels = ["LRR", "TLV", "PA-TLV"];
+    let recs = run_grid(workloads, &b_engines, scale);
+    let per = b_engines.len();
+    let mut distance = Vec::new();
+    for (j, &label) in labels.iter().enumerate() {
+        let vals: Vec<f64> = (0..workloads.len())
+            .map(|i| recs[i * per + j].stats.mean_prefetch_distance())
+            .filter(|&d| d > 0.0)
+            .collect();
+        distance.push((label, mean(&vals)));
+    }
+    Figure14 {
+        early_ratio,
+        distance,
+    }
+}
+
+/// Full suite.
+pub fn compute(scale: Scale) -> Figure14 {
+    compute_for(&crate::workloads(), scale)
+}
+
+/// Render both panels.
+pub fn render(fig: &Figure14) -> String {
+    let mut t = Table::new(&["engine", "early prefetch ratio"]);
+    for (label, v) in &fig.early_ratio {
+        t.row(vec![label.to_string(), format!("{:.2}%", v * 100.0)]);
+    }
+    let mut d = Table::new(&["scheduler", "mean prefetch distance (cycles)"]);
+    for (label, v) in &fig.distance {
+        d.row(vec![label.to_string(), format!("{v:.1}")]);
+    }
+    format!(
+        "(a) Early prefetch ratio\n{}\n(b) Prefetch distance\n{}",
+        t.render(),
+        d.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panels_have_expected_series() {
+        let fig = compute_for(&[Workload::Jc1], Scale::Small);
+        assert_eq!(fig.early_ratio.len(), 5);
+        assert_eq!(fig.distance.len(), 3);
+        assert!(fig.early_ratio.iter().any(|(l, _)| *l == "CAPS w/o Wakeup"));
+        let s = render(&fig);
+        assert!(s.contains("PA-TLV"));
+    }
+}

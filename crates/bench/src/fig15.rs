@@ -1,0 +1,57 @@
+//! Figure 15 — GPU energy under CAPS normalized to the baseline
+//! (GPUWattch-style model plus the CAPS table costs from §V-D).
+
+use caps_metrics::{mean, Engine, Table};
+use caps_workloads::{Scale, Workload};
+
+use crate::run_grid;
+
+/// Per-benchmark normalized energy plus the mean.
+#[derive(Debug, Clone)]
+pub struct Figure15 {
+    /// (benchmark, CAPS energy / baseline energy).
+    pub rows: Vec<(String, f64)>,
+    /// Mean across the suite (paper: 0.98).
+    pub mean: f64,
+}
+
+/// Compute over an explicit workload list.
+pub fn compute_for(workloads: &[Workload], scale: Scale) -> Figure15 {
+    let engines = [Engine::Baseline, Engine::Caps];
+    let recs = run_grid(workloads, &engines, scale);
+    let mut rows = Vec::new();
+    for (i, &w) in workloads.iter().enumerate() {
+        let base = recs[i * 2].energy.total_mj();
+        let caps = recs[i * 2 + 1].energy.total_mj();
+        rows.push((w.abbr().to_string(), caps / base));
+    }
+    let m = mean(&rows.iter().map(|(_, v)| *v).collect::<Vec<_>>());
+    Figure15 { rows, mean: m }
+}
+
+/// Full suite.
+pub fn compute(scale: Scale) -> Figure15 {
+    compute_for(&crate::workloads(), scale)
+}
+
+/// Render the figure.
+pub fn render(fig: &Figure15) -> String {
+    let mut t = Table::new(&["bench", "normalized energy"]);
+    for (w, v) in &fig.rows {
+        t.row(vec![w.clone(), format!("{v:.3}")]);
+    }
+    t.row(vec!["Mean".to_string(), format!("{:.3}", fig.mean)]);
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_ratio_is_near_unity() {
+        let fig = compute_for(&[Workload::Scn], Scale::Small);
+        assert!(fig.mean > 0.5 && fig.mean < 1.5, "mean {}", fig.mean);
+        assert!(render(&fig).contains("Mean"));
+    }
+}

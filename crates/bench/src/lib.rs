@@ -1,0 +1,95 @@
+//! # caps-bench — figure and table regeneration
+//!
+//! One module per table/figure of the paper's evaluation (§VI). Each
+//! exposes a `compute` function returning structured rows and a `render`
+//! function printing the same series the paper plots. The `src/bin/`
+//! binaries are thin wrappers; `benches/` times the underlying machinery
+//! with Criterion.
+
+#![warn(missing_docs)]
+
+pub mod fig01;
+pub mod fig04;
+pub mod fig05;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod tables;
+
+use caps_metrics::{run_matrix, Engine, RunRecord, RunSpec};
+use caps_workloads::{all_workloads, Scale, Workload};
+
+/// Scale selector shared by all figure binaries: `--small` runs the
+/// reduced kernels (useful for smoke tests), default is paper scale.
+pub fn scale_from_args() -> Scale {
+    if std::env::args().any(|a| a == "--small") {
+        Scale::Small
+    } else {
+        Scale::Full
+    }
+}
+
+/// Run `engines × workloads` and return records in row-major
+/// (workload-major) order.
+pub fn run_grid(workloads: &[Workload], engines: &[Engine], scale: Scale) -> Vec<RunRecord> {
+    let specs: Vec<RunSpec> = workloads
+        .iter()
+        .flat_map(|&w| {
+            engines.iter().map(move |&e| {
+                let mut s = RunSpec::paper(w, e);
+                s.scale = scale;
+                s
+            })
+        })
+        .collect();
+    run_matrix(&specs)
+}
+
+/// The baseline-plus-Fig.10 engine set, baseline first.
+pub fn engines_with_baseline() -> Vec<Engine> {
+    let mut v = vec![Engine::Baseline];
+    v.extend(Engine::FIGURE10);
+    v
+}
+
+/// All 16 workloads (paper order).
+pub fn workloads() -> Vec<Workload> {
+    all_workloads()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_is_workload_major() {
+        let recs = run_grid(
+            &[Workload::Jc1, Workload::Scn],
+            &[Engine::Baseline, Engine::Caps],
+            Scale::Small,
+        );
+        assert_eq!(recs.len(), 4);
+        assert_eq!(
+            (recs[0].workload.as_str(), recs[0].engine.as_str()),
+            ("JC1", "BASE")
+        );
+        assert_eq!(
+            (recs[1].workload.as_str(), recs[1].engine.as_str()),
+            ("JC1", "CAPS")
+        );
+        assert_eq!(
+            (recs[2].workload.as_str(), recs[2].engine.as_str()),
+            ("SCN", "BASE")
+        );
+    }
+
+    #[test]
+    fn engine_list_is_baseline_plus_seven() {
+        let e = engines_with_baseline();
+        assert_eq!(e.len(), 8);
+        assert_eq!(e[0], Engine::Baseline);
+    }
+}

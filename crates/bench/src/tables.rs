@@ -1,0 +1,170 @@
+//! Tables I–IV: hardware-budget arithmetic and configuration listings.
+
+use caps_core::hardware;
+use caps_core::{dist, per_cta};
+use caps_gpu_sim::config::GpuConfig;
+use caps_metrics::Table;
+use caps_workloads::Workload;
+
+/// Render Table I (prefetcher entry layouts) and Table II (per-SM
+/// storage) exactly as the paper reports them.
+pub fn render_tables_1_2() -> String {
+    let mut t1 = Table::new(&["table", "fields", "bytes/entry"]);
+    t1.row(vec![
+        "PerCTA".into(),
+        "PC (4B), leading warp id (1B), base address (4×4B)".into(),
+        format!("{}", per_cta::PER_CTA_ENTRY_BYTES),
+    ]);
+    t1.row(vec![
+        "DIST".into(),
+        "PC (4B), stride (4B), mispredict counter (1B)".into(),
+        format!("{}", dist::DIST_ENTRY_BYTES),
+    ]);
+    let mut t2 = Table::new(&["table", "configuration", "total bytes"]);
+    t2.row(vec![
+        "DIST".into(),
+        format!(
+            "{} bytes × {} entries",
+            dist::DIST_ENTRY_BYTES,
+            dist::DIST_ENTRIES
+        ),
+        format!("{}", hardware::DIST_TABLE_BYTES),
+    ]);
+    t2.row(vec![
+        "PerCTA".into(),
+        format!(
+            "{} bytes × {} entries × {} CTAs",
+            per_cta::PER_CTA_ENTRY_BYTES,
+            per_cta::PER_CTA_ENTRIES,
+            hardware::CTAS_PER_SM
+        ),
+        format!("{}", hardware::PER_CTA_TABLE_BYTES),
+    ]);
+    t2.row(vec![
+        "Total".into(),
+        format!(
+            "area {:.3} mm² ({:.2}% of an SM)",
+            hardware::CAPS_AREA_MM2,
+            hardware::area_overhead_fraction() * 100.0
+        ),
+        format!("{}", hardware::TOTAL_TABLE_BYTES),
+    ]);
+    format!(
+        "Table I — entry layout\n{}\nTable II — per-SM storage\n{}",
+        t1.render(),
+        t2.render()
+    )
+}
+
+/// Render Table III (the simulated GPU configuration).
+pub fn render_table_3() -> String {
+    let c = GpuConfig::fermi_gtx480();
+    let mut t = Table::new(&["parameter", "value"]);
+    t.row(vec![
+        "Core".into(),
+        format!(
+            "{} MHz, {} SIMT width, {} cores",
+            c.core_clock_mhz, c.simt_width, c.num_sms
+        ),
+    ]);
+    t.row(vec![
+        "Resources / core".into(),
+        format!(
+            "{} concurrent warps, {} concurrent CTAs",
+            c.max_warps_per_sm, c.max_ctas_per_sm
+        ),
+    ]);
+    t.row(vec![
+        "Scheduler".into(),
+        format!("two-level ({} ready warps)", c.ready_queue_size),
+    ]);
+    t.row(vec![
+        "L1D cache".into(),
+        format!(
+            "{}KB, {}B line, {}-way, LRU, {} MSHR entries",
+            c.l1d.size_bytes / 1024,
+            c.l1d.line_size,
+            c.l1d.assoc,
+            c.l1d.mshr_entries
+        ),
+    ]);
+    t.row(vec![
+        "L2 unified cache".into(),
+        format!(
+            "{}KB per partition ({} partitions), {}B line, {}-way, LRU",
+            c.l2.size_bytes / 1024,
+            c.num_partitions,
+            c.l2.line_size,
+            c.l2.assoc
+        ),
+    ]);
+    t.row(vec![
+        "DRAM".into(),
+        format!(
+            "{} MHz, {} channels, FR-FCFS, {} scheduler queue entries",
+            c.dram_clock_mhz, c.num_dram_channels, c.dram_queue_entries
+        ),
+    ]);
+    let d = &c.dram_timing;
+    t.row(vec![
+        "GDDR5 timing".into(),
+        format!(
+            "tCL={}, tRP={}, tRC={}, tRAS={}, tRCD={}, tRRD={}, tCDLR={}, tWR={}",
+            d.t_cl, d.t_rp, d.t_rc, d.t_ras, d.t_rcd, d.t_rrd, d.t_cdlr, d.t_wr
+        ),
+    ]);
+    format!("Table III — GPU configuration\n{}", t.render())
+}
+
+/// Render Table IV (the workload list).
+pub fn render_table_4() -> String {
+    let mut t = Table::new(&["benchmark", "abbr", "suite", "class"]);
+    for w in Workload::ALL {
+        let i = w.info();
+        t.row(vec![
+            i.name.to_string(),
+            i.abbr.to_string(),
+            i.suite.to_string(),
+            if i.irregular {
+                "irregular".into()
+            } else {
+                "regular".into()
+            },
+        ]);
+    }
+    format!("Table IV — workloads\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_render_paper_totals() {
+        let s = render_tables_1_2();
+        assert!(s.contains("21"));
+        assert!(s.contains("9"));
+        assert!(s.contains("708"));
+        assert!(s.contains("672"));
+        assert!(s.contains("36"));
+    }
+
+    #[test]
+    fn table_3_lists_fermi_parameters() {
+        let s = render_table_3();
+        assert!(s.contains("1400 MHz"));
+        assert!(s.contains("16KB"));
+        assert!(s.contains("FR-FCFS"));
+        assert!(s.contains("tCL=12"));
+    }
+
+    #[test]
+    fn table_4_lists_sixteen_workloads() {
+        let s = render_table_4();
+        assert_eq!(
+            s.matches("regular").count(),
+            16,
+            "12 regular + 4 irregular rows"
+        );
+    }
+}

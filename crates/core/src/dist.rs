@@ -1,0 +1,249 @@
+//! The DIST table (§V-B).
+//!
+//! A single table per SM, shared by all CTAs, because the warp-to-warp
+//! stride Δ of a load is identical across every CTA of the kernel (§IV).
+//! Each entry holds the load PC, the detected stride, and a one-byte
+//! misprediction counter; once the counter crosses the threshold (128 by
+//! default) prefetching for that PC is shut off, throttling streams whose
+//! addresses turned out not to be warp-strided.
+//!
+//! Hardware layout (Table I): PC (4 B) + stride (4 B) + misprediction
+//! counter (1 B) = 9 B per entry, four entries.
+
+use caps_gpu_sim::types::Pc;
+
+/// Entries in the DIST table (paper default).
+pub const DIST_ENTRIES: usize = 4;
+
+/// Bytes of one DIST entry as specified in Table I.
+pub const DIST_ENTRY_BYTES: usize = 4 + 4 + 1;
+
+/// Default misprediction-counter threshold (§V-B).
+pub const DEFAULT_MISPREDICT_THRESHOLD: u8 = 128;
+
+/// One DIST entry.
+#[derive(Debug, Clone, Copy)]
+pub struct DistEntry {
+    /// Load PC.
+    pub pc: Pc,
+    /// Warp-to-warp stride in bytes (Δ).
+    pub stride: i64,
+    /// Saturating misprediction counter.
+    pub mispredicts: u8,
+    lru: u64,
+}
+
+/// The per-SM stride table.
+#[derive(Debug)]
+pub struct DistTable {
+    entries: Vec<DistEntry>,
+    capacity: usize,
+    threshold: u8,
+    replace_when_full: bool,
+    clock: u64,
+}
+
+impl Default for DistTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DistTable {
+    /// Paper-default table: 4 entries, threshold 128, LRU replacement.
+    pub fn new() -> Self {
+        Self::with_params(DIST_ENTRIES, DEFAULT_MISPREDICT_THRESHOLD)
+    }
+
+    /// Parameterized constructor (ablation knob), LRU replacement.
+    pub fn with_params(capacity: usize, threshold: u8) -> Self {
+        Self::with_policy(capacity, threshold, true)
+    }
+
+    /// Explicit replacement policy (`false` pins the first `capacity`
+    /// PCs; see `PerCtaTable::with_policy`).
+    pub fn with_policy(capacity: usize, threshold: u8, replace_when_full: bool) -> Self {
+        assert!(capacity > 0);
+        DistTable {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            threshold,
+            replace_when_full,
+            clock: 0,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no entry is live.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Stride for `pc` if known.
+    pub fn stride(&self, pc: Pc) -> Option<i64> {
+        self.entries.iter().find(|e| e.pc == pc).map(|e| e.stride)
+    }
+
+    /// Whether prefetching for `pc` has been shut off by mispredictions.
+    pub fn throttled(&self, pc: Pc) -> bool {
+        self.entries
+            .iter()
+            .find(|e| e.pc == pc)
+            .is_some_and(|e| e.mispredicts >= self.threshold)
+    }
+
+    /// Record a detected stride for `pc`, resetting its misprediction
+    /// counter (§V-B). When full, replaces the least-recently-updated
+    /// entry (or drops the insertion under pinning). Returns whether the
+    /// stride is now resident.
+    pub fn insert(&mut self, pc: Pc, stride: i64) -> bool {
+        self.clock += 1;
+        let clock = self.clock;
+        if let Some(e) = self.entries.iter_mut().find(|e| e.pc == pc) {
+            e.stride = stride;
+            e.mispredicts = 0;
+            e.lru = clock;
+            return true;
+        }
+        if self.entries.len() == self.capacity {
+            if !self.replace_when_full {
+                return false;
+            }
+            let victim = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.lru)
+                .map(|(i, _)| i)
+                .expect("full table has a victim");
+            self.entries.swap_remove(victim);
+        }
+        self.entries.push(DistEntry {
+            pc,
+            stride,
+            mispredicts: 0,
+            lru: clock,
+        });
+        true
+    }
+
+    /// Bump the misprediction counter for `pc` (demand address disagreed
+    /// with the prediction). Saturating.
+    pub fn mispredict(&mut self, pc: Pc) {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.pc == pc) {
+            e.mispredicts = e.mispredicts.saturating_add(1);
+        }
+    }
+
+    /// Misprediction count for `pc` (diagnostics).
+    pub fn mispredict_count(&self, pc: Pc) -> Option<u8> {
+        self.entries
+            .iter()
+            .find(|e| e.pc == pc)
+            .map(|e| e.mispredicts)
+    }
+
+    /// Drop the entry for `pc`.
+    pub fn invalidate(&mut self, pc: Pc) {
+        self.entries.retain(|e| e.pc != pc);
+    }
+
+    /// PCs of all live entries (scrub support).
+    pub fn pcs(&self) -> Vec<Pc> {
+        self.entries.iter().map(|e| e.pc).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_layout_matches_table_i() {
+        assert_eq!(DIST_ENTRY_BYTES, 9);
+        assert_eq!(DIST_ENTRIES, 4);
+        assert_eq!(DEFAULT_MISPREDICT_THRESHOLD, 128);
+    }
+
+    #[test]
+    fn insert_resets_counter_and_updates_stride() {
+        let mut t = DistTable::new();
+        t.insert(8, 512);
+        assert_eq!(t.stride(8), Some(512));
+        for _ in 0..10 {
+            t.mispredict(8);
+        }
+        assert_eq!(t.mispredict_count(8), Some(10));
+        t.insert(8, 256);
+        assert_eq!(t.stride(8), Some(256));
+        assert_eq!(t.mispredict_count(8), Some(0));
+    }
+
+    #[test]
+    fn throttles_after_threshold() {
+        let mut t = DistTable::with_params(4, 3);
+        t.insert(8, 128);
+        assert!(!t.throttled(8));
+        t.mispredict(8);
+        t.mispredict(8);
+        assert!(!t.throttled(8));
+        t.mispredict(8);
+        assert!(t.throttled(8));
+    }
+
+    #[test]
+    fn counter_saturates() {
+        let mut t = DistTable::new();
+        t.insert(8, 128);
+        for _ in 0..500 {
+            t.mispredict(8);
+        }
+        assert_eq!(t.mispredict_count(8), Some(255));
+    }
+
+    #[test]
+    fn lru_replacement() {
+        let mut t = DistTable::new();
+        for pc in 0..4u32 {
+            t.insert(pc, pc as i64);
+        }
+        t.insert(0, 99); // refresh PC 0 — PC 1 becomes LRU
+        t.insert(100, 7);
+        assert_eq!(t.stride(0), Some(99));
+        assert_eq!(t.stride(1), None);
+        assert_eq!(t.stride(100), Some(7));
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn unknown_pc_is_not_throttled() {
+        let t = DistTable::new();
+        assert!(!t.throttled(0xdead));
+        assert_eq!(t.stride(0xdead), None);
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut t = DistTable::new();
+        t.insert(8, 128);
+        t.invalidate(8);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn pinned_table_drops_new_pcs_when_full() {
+        let mut t = DistTable::with_policy(2, 128, false);
+        assert!(t.insert(1, 100));
+        assert!(t.insert(2, 200));
+        assert!(!t.insert(3, 300), "pinned-full drops");
+        assert_eq!(t.stride(1), Some(100));
+        assert_eq!(t.stride(3), None);
+        // Updates to resident PCs still work.
+        assert!(t.insert(1, 150));
+        assert_eq!(t.stride(1), Some(150));
+    }
+}

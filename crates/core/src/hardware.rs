@@ -1,0 +1,56 @@
+//! Hardware cost model of CAPS (§V-D, Tables I & II).
+//!
+//! The paper synthesized CAPS in RTL with the FreePDK 45 nm library and
+//! sized the PerCTA table with CACTI. We reproduce the arithmetic of
+//! Tables I/II exactly and carry the published energy/area figures as
+//! constants for the energy model (Fig. 15).
+
+use crate::dist::{DIST_ENTRIES, DIST_ENTRY_BYTES};
+use crate::per_cta::{PER_CTA_ENTRIES, PER_CTA_ENTRY_BYTES};
+
+/// CTA slots per SM in the Fermi baseline.
+pub const CTAS_PER_SM: usize = 8;
+
+/// Total DIST table bytes per SM (Table II: 36 bytes).
+pub const DIST_TABLE_BYTES: usize = DIST_ENTRY_BYTES * DIST_ENTRIES;
+
+/// Total PerCTA table bytes per SM (Table II: 672 bytes).
+pub const PER_CTA_TABLE_BYTES: usize = PER_CTA_ENTRY_BYTES * PER_CTA_ENTRIES * CTAS_PER_SM;
+
+/// Total CAPS storage per SM (Table II: 708 bytes).
+pub const TOTAL_TABLE_BYTES: usize = DIST_TABLE_BYTES + PER_CTA_TABLE_BYTES;
+
+/// Synthesized CAPS area (mm², FreePDK 45 nm + CACTI; §V-D).
+pub const CAPS_AREA_MM2: f64 = 0.018;
+
+/// One-SM die area of GF100 (mm², from the die photo; §V-D).
+pub const SM_AREA_MM2: f64 = 22.0;
+
+/// Dynamic energy per CAPS table access (pJ; §V-D).
+pub const CAPS_ENERGY_PER_ACCESS_PJ: f64 = 15.07;
+
+/// CAPS static power (µW; §V-D).
+pub const CAPS_STATIC_POWER_UW: f64 = 550.0;
+
+/// Area overhead of CAPS relative to one SM (the paper reports 0.08%).
+pub fn area_overhead_fraction() -> f64 {
+    CAPS_AREA_MM2 / SM_AREA_MM2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_ii_totals() {
+        assert_eq!(DIST_TABLE_BYTES, 36);
+        assert_eq!(PER_CTA_TABLE_BYTES, 672);
+        assert_eq!(TOTAL_TABLE_BYTES, 708);
+    }
+
+    #[test]
+    fn area_overhead_is_well_under_a_percent() {
+        let f = area_overhead_fraction();
+        assert!((f - 0.0008).abs() < 2e-4, "paper reports 0.08%, got {f}");
+    }
+}

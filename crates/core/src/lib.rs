@@ -1,0 +1,77 @@
+//! # caps-core — CTA-Aware Prefetching and Scheduling (CAPS)
+//!
+//! The primary contribution of Koo et al., *CTA-Aware Prefetching and
+//! Scheduling for GPU* (IPDPS 2018), implemented against the
+//! [`caps_gpu_sim`] simulator substrate:
+//!
+//! * [`cap::CtaAwarePrefetcher`] — the CTA-Aware Prefetcher: per-CTA-slot
+//!   [`per_cta::PerCtaTable`]s capture each CTA's base-address vector via
+//!   its leading warp; the shared [`dist::DistTable`] holds the
+//!   kernel-wide warp stride Δ per load PC with a misprediction-counter
+//!   shut-off; prefetches target every trailing warp of every resident
+//!   CTA (Fig. 9 cases 1 and 2), with indirect and uncoalesced loads
+//!   excluded.
+//! * [`pas`] — the Prefetch-Aware Scheduler: a two-level scheduler with
+//!   leading warps hoisted to the ready-queue front and eager wake-up of
+//!   warps whose prefetched data arrives.
+//! * [`hardware`] — the Table I/II storage arithmetic and published
+//!   area/energy figures.
+//!
+//! ## Running a kernel under CAPS
+//!
+//! ```
+//! use caps_core::{caps_factory, pas::caps_config};
+//! use caps_gpu_sim::prelude::*;
+//!
+//! let pat = AddrPattern::Affine(AffinePattern::dense(
+//!     0x1000_0000,
+//!     CtaTerm::Linear { pitch: 1 << 16 },
+//! ));
+//! let prog = ProgramBuilder::new().ld(pat).wait().alu(16).build();
+//! let kernel = Kernel::new("demo", (16, 1), 128, prog);
+//!
+//! let cfg = caps_config(&GpuConfig::test_small()); // PAS scheduler
+//! let mut gpu = Gpu::new(cfg, kernel, &*caps_factory()); // CAP engine
+//! let stats = gpu.run_to_completion();
+//! assert!(stats.prefetch_issued > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cap;
+pub mod dist;
+pub mod hardware;
+pub mod pas;
+pub mod per_cta;
+
+pub use cap::{CapConfig, CtaAwarePrefetcher};
+pub use dist::DistTable;
+pub use pas::{caps_config, pas_scheduler};
+pub use per_cta::PerCtaTable;
+
+use caps_gpu_sim::prefetch::PrefetcherFactory;
+
+/// Factory building one paper-default CAP engine per SM.
+pub fn caps_factory() -> Box<PrefetcherFactory> {
+    Box::new(|_| Box::new(CtaAwarePrefetcher::new()))
+}
+
+/// Factory with explicit CAP parameters (ablations).
+pub fn caps_factory_with(cfg: CapConfig) -> Box<PrefetcherFactory> {
+    Box::new(move |_| Box::new(CtaAwarePrefetcher::with_config(cfg)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factories_build_cap_engines() {
+        assert_eq!(caps_factory()(0).name(), "CAPS");
+        let cfg = CapConfig {
+            dist_entries: 8,
+            ..CapConfig::default()
+        };
+        assert_eq!(caps_factory_with(cfg)(3).name(), "CAPS");
+    }
+}

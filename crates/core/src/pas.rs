@@ -1,0 +1,62 @@
+//! The Prefetch-Aware Scheduler (PAS, §V-A).
+//!
+//! PAS is "a simple enhancement to the conventional two-level scheduler":
+//! a one-bit *leading warp marker* per warp, a ready queue whose front
+//! segment holds leading warps, and an eager wake-up path that promotes a
+//! pending warp when prefetched data bound to it arrives. The queue
+//! machinery lives in [`caps_gpu_sim::sched::TwoLevelScheduler`]; this
+//! module instantiates it with the PAS policy bits enabled and is the
+//! canonical constructor used by the CAPS composition.
+
+use caps_gpu_sim::config::{GpuConfig, SchedulerKind};
+use caps_gpu_sim::sched::TwoLevelScheduler;
+
+/// Construct the prefetch-aware two-level scheduler (ready-queue size per
+/// `cfg`, leading-warp priority and eager wake-up enabled).
+pub fn pas_scheduler(cfg: &GpuConfig) -> TwoLevelScheduler {
+    TwoLevelScheduler::new(cfg.ready_queue_size, true, false)
+}
+
+/// Derive a CAPS GPU configuration from a baseline: same hardware, but
+/// the warp scheduler is PAS. This is the configuration used for every
+/// "CAPS" bar in the evaluation figures.
+pub fn caps_config(base: &GpuConfig) -> GpuConfig {
+    let mut cfg = base.clone();
+    cfg.scheduler = SchedulerKind::Pas;
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caps_gpu_sim::sched::WarpScheduler;
+
+    #[test]
+    fn pas_scheduler_reports_its_name() {
+        let cfg = GpuConfig::fermi_gtx480();
+        let s = pas_scheduler(&cfg);
+        assert_eq!(s.name(), "PA-TLV");
+    }
+
+    #[test]
+    fn caps_config_only_changes_scheduler() {
+        let base = GpuConfig::fermi_gtx480();
+        let caps = caps_config(&base);
+        assert_eq!(caps.scheduler, SchedulerKind::Pas);
+        let mut caps_reverted = caps.clone();
+        caps_reverted.scheduler = base.scheduler;
+        assert_eq!(caps_reverted, base);
+    }
+
+    #[test]
+    fn leading_warp_priority_is_active() {
+        let cfg = GpuConfig::fermi_gtx480();
+        let mut s = pas_scheduler(&cfg);
+        // Fill the ready queue with trailing warps, then launch a leader.
+        for w in 0..cfg.ready_queue_size {
+            s.on_launch(w, false, 0);
+        }
+        s.on_launch(99, true, 0);
+        assert_eq!(s.ready_order()[0], 99, "leading warp hoisted to the front");
+    }
+}

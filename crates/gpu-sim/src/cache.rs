@@ -1,0 +1,425 @@
+//! Set-associative cache with LRU replacement and per-line prefetch
+//! provenance.
+//!
+//! Each line remembers whether a prefetch brought it in, which load PC and
+//! warp the prefetch targeted, and when the prefetch was issued. This is
+//! what lets the simulator measure the paper's accuracy (consumed
+//! prefetches), early-prefetch ratio (evicted before use, Fig. 14a) and
+//! prefetch-to-demand distance (Fig. 14b) without any approximation.
+
+use crate::config::CacheConfig;
+use crate::types::{Addr, Cycle, Pc, WarpSlot};
+
+/// Provenance of a prefetched line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefetchProvenance {
+    /// Load PC that generated the prefetch.
+    pub pc: Pc,
+    /// Warp the data was prefetched for.
+    pub target_warp: Option<WarpSlot>,
+    /// Cycle the prefetch request was issued.
+    pub issue_cycle: Cycle,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: Addr,
+    valid: bool,
+    dirty: bool,
+    last_use: u64,
+    /// `Some` while the line holds unconsumed prefetched data.
+    prefetch: Option<PrefetchProvenance>,
+}
+
+const INVALID: Line = Line {
+    tag: 0,
+    valid: false,
+    dirty: false,
+    last_use: 0,
+    prefetch: None,
+};
+
+/// Result of a lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lookup {
+    /// Line present. If it held unconsumed prefetched data, the
+    /// provenance is returned and the line is marked consumed.
+    Hit {
+        /// Provenance when this demand is the first to touch a
+        /// prefetched line.
+        first_use_of_prefetch: Option<PrefetchProvenance>,
+    },
+    /// Line absent.
+    Miss,
+}
+
+/// Result of filling a line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FillOutcome {
+    /// An unconsumed prefetched line was evicted to make room
+    /// (an *early* prefetch per Fig. 14a).
+    pub evicted_unused_prefetch: bool,
+    /// A dirty line was evicted and must be written back.
+    pub writeback: Option<Addr>,
+}
+
+/// A set-associative LRU cache (tag store only — the simulator carries no
+/// data values).
+#[derive(Debug)]
+pub struct Cache {
+    cfg: CacheConfig,
+    lines: Vec<Line>,
+    sets: usize,
+    use_clock: u64,
+}
+
+impl Cache {
+    /// Build an empty cache with `cfg` geometry.
+    pub fn new(cfg: CacheConfig) -> Self {
+        let sets = cfg.sets() as usize;
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        Cache {
+            cfg,
+            lines: vec![INVALID; sets * cfg.assoc as usize],
+            sets,
+            use_clock: 0,
+        }
+    }
+
+    /// Geometry this cache was built with.
+    #[inline]
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// XOR-folded set hash. Plain modulo indexing aliases badly under
+    /// GPU address streams: partition interleaving strips low bits, and
+    /// power-of-two row strides (stencil taps, matrix pitches) collapse
+    /// onto a handful of sets. Folding the upper index bits in (as
+    /// GPGPU-Sim's hashed L2 set function does) restores full capacity.
+    #[inline]
+    fn set_of(&self, line_addr: Addr) -> usize {
+        let idx = (line_addr / self.cfg.line_size as Addr) as usize;
+        let bits = self.sets.trailing_zeros() as usize;
+        (idx ^ (idx >> bits) ^ (idx >> (2 * bits))) & (self.sets - 1)
+    }
+
+    #[inline]
+    fn ways(&mut self, set: usize) -> &mut [Line] {
+        let a = self.cfg.assoc as usize;
+        &mut self.lines[set * a..(set + 1) * a]
+    }
+
+    /// Non-destructive presence check (no LRU update, no consumption).
+    /// Prefetch engines use this to drop redundant requests.
+    pub fn probe(&self, line_addr: Addr) -> bool {
+        let set = self.set_of(line_addr);
+        let a = self.cfg.assoc as usize;
+        self.lines[set * a..(set + 1) * a]
+            .iter()
+            .any(|l| l.valid && l.tag == line_addr)
+    }
+
+    /// Demand access to `line_addr`. Updates LRU and consumes prefetch
+    /// provenance on first touch.
+    pub fn access(&mut self, line_addr: Addr) -> Lookup {
+        self.use_clock += 1;
+        let clock = self.use_clock;
+        let set = self.set_of(line_addr);
+        for l in self.ways(set) {
+            if l.valid && l.tag == line_addr {
+                l.last_use = clock;
+                let first = l.prefetch.take();
+                return Lookup::Hit {
+                    first_use_of_prefetch: first,
+                };
+            }
+        }
+        Lookup::Miss
+    }
+
+    /// Install `line_addr`, evicting the LRU way if needed. `prefetch`
+    /// carries provenance when the fill came from a prefetch request
+    /// whose data no demand has touched yet.
+    pub fn fill(&mut self, line_addr: Addr, prefetch: Option<PrefetchProvenance>) -> FillOutcome {
+        self.fill_inner(line_addr, prefetch, false)
+    }
+
+    /// Install `line_addr` as dirty (write-allocate store at a
+    /// write-back cache).
+    pub fn fill_dirty(&mut self, line_addr: Addr) -> FillOutcome {
+        self.fill_inner(line_addr, None, true)
+    }
+
+    fn fill_inner(
+        &mut self,
+        line_addr: Addr,
+        prefetch: Option<PrefetchProvenance>,
+        dirty: bool,
+    ) -> FillOutcome {
+        self.use_clock += 1;
+        let clock = self.use_clock;
+        let set = self.set_of(line_addr);
+        let ways = self.ways(set);
+
+        // Refill of a resident line (possible when a store invalidated and
+        // a racing fill returns): overwrite in place.
+        if let Some(l) = ways.iter_mut().find(|l| l.valid && l.tag == line_addr) {
+            l.last_use = clock;
+            l.prefetch = prefetch;
+            l.dirty |= dirty;
+            return FillOutcome::default();
+        }
+
+        let victim = match ways.iter_mut().find(|l| !l.valid) {
+            Some(inv) => inv,
+            None => ways
+                .iter_mut()
+                .min_by_key(|l| l.last_use)
+                .expect("assoc > 0"),
+        };
+        let evicted_unused_prefetch = victim.valid && victim.prefetch.is_some();
+        let writeback = (victim.valid && victim.dirty).then_some(victim.tag);
+        *victim = Line {
+            tag: line_addr,
+            valid: true,
+            dirty,
+            last_use: clock,
+            prefetch,
+        };
+        FillOutcome {
+            evicted_unused_prefetch,
+            writeback,
+        }
+    }
+
+    /// Mark a resident line dirty (store hit at a write-back cache).
+    /// Returns whether the line was present.
+    pub fn mark_dirty(&mut self, line_addr: Addr) -> bool {
+        self.use_clock += 1;
+        let clock = self.use_clock;
+        let set = self.set_of(line_addr);
+        for l in self.ways(set) {
+            if l.valid && l.tag == line_addr {
+                l.dirty = true;
+                l.last_use = clock;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Invalidate `line_addr` if present (write-evict store policy).
+    /// Returns the prefetch provenance if the invalidated line held
+    /// unconsumed prefetched data.
+    pub fn invalidate(&mut self, line_addr: Addr) -> Option<PrefetchProvenance> {
+        let set = self.set_of(line_addr);
+        for l in self.ways(set) {
+            if l.valid && l.tag == line_addr {
+                l.valid = false;
+                return l.prefetch.take();
+            }
+        }
+        None
+    }
+
+    /// Count of resident lines still holding unconsumed prefetched data
+    /// (collected at kernel end for the accuracy denominator).
+    pub fn unconsumed_prefetched_lines(&self) -> u64 {
+        self.lines
+            .iter()
+            .filter(|l| l.valid && l.prefetch.is_some())
+            .count() as u64
+    }
+
+    /// Number of valid lines (occupancy diagnostics).
+    pub fn valid_lines(&self) -> usize {
+        self.lines.iter().filter(|l| l.valid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> CacheConfig {
+        CacheConfig {
+            size_bytes: 1024,
+            line_size: 128,
+            assoc: 2,
+            mshr_entries: 4,
+            mshr_merge: 4,
+            hit_latency: 1,
+        }
+    }
+
+    fn prov(pc: Pc) -> PrefetchProvenance {
+        PrefetchProvenance {
+            pc,
+            target_warp: Some(1),
+            issue_cycle: 10,
+        }
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = Cache::new(cfg());
+        assert_eq!(c.access(0x100), Lookup::Miss);
+        c.fill(0x100, None);
+        assert_eq!(
+            c.access(0x100),
+            Lookup::Hit {
+                first_use_of_prefetch: None
+            }
+        );
+        assert!(c.probe(0x100));
+    }
+
+    /// First `n` line addresses mapping to the same set as `base`.
+    fn colliding(c: &Cache, base: Addr, n: usize) -> Vec<Addr> {
+        let set = c.set_of(base);
+        let mut out = vec![base];
+        let mut a = base;
+        while out.len() < n {
+            a += 128;
+            if c.set_of(a) == set {
+                out.push(a);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = Cache::new(cfg());
+        let s = colliding(&c, 0, 3);
+        c.fill(s[0], None);
+        c.fill(s[1], None);
+        let _ = c.access(s[0]); // make s[1] the LRU way
+        c.fill(s[2], None); // evicts s[1]
+        assert!(c.probe(s[0]));
+        assert!(!c.probe(s[1]));
+        assert!(c.probe(s[2]));
+    }
+
+    #[test]
+    fn prefetch_provenance_consumed_on_first_hit_only() {
+        let mut c = Cache::new(cfg());
+        c.fill(0x100, Some(prov(42)));
+        match c.access(0x100) {
+            Lookup::Hit {
+                first_use_of_prefetch: Some(p),
+            } => assert_eq!(p.pc, 42),
+            other => panic!("expected first-use hit, got {other:?}"),
+        }
+        assert_eq!(
+            c.access(0x100),
+            Lookup::Hit {
+                first_use_of_prefetch: None
+            }
+        );
+        assert_eq!(c.unconsumed_prefetched_lines(), 0);
+    }
+
+    #[test]
+    fn evicting_unused_prefetch_is_reported() {
+        let mut c = Cache::new(cfg());
+        let s = colliding(&c, 0, 3);
+        c.fill(s[0], Some(prov(1)));
+        c.fill(s[1], None);
+        // Set full; next fill evicts the LRU way holding the prefetch.
+        let out = c.fill(s[2], None);
+        assert!(out.evicted_unused_prefetch);
+    }
+
+    #[test]
+    fn evicting_consumed_prefetch_is_not_early() {
+        let mut c = Cache::new(cfg());
+        let s = colliding(&c, 0, 3);
+        c.fill(s[0], Some(prov(1)));
+        let _ = c.access(s[0]); // consume
+        c.fill(s[1], None);
+        let _ = c.access(s[1]); // make s[0] LRU
+        let out = c.fill(s[2], None);
+        assert!(!out.evicted_unused_prefetch);
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = Cache::new(cfg());
+        c.fill(0x100, Some(prov(5)));
+        let p = c.invalidate(0x100);
+        assert_eq!(p.unwrap().pc, 5);
+        assert!(!c.probe(0x100));
+        assert_eq!(c.invalidate(0x100), None);
+    }
+
+    #[test]
+    fn refill_of_resident_line_does_not_evict() {
+        let mut c = Cache::new(cfg());
+        let s = colliding(&c, 0, 2);
+        c.fill(s[0], None);
+        c.fill(s[1], None);
+        let out = c.fill(s[0], None);
+        assert!(!out.evicted_unused_prefetch);
+        assert!(c.probe(s[0]) && c.probe(s[1]));
+    }
+
+    #[test]
+    fn dirty_lines_write_back_on_eviction() {
+        let mut c = Cache::new(cfg());
+        let s = colliding(&c, 0, 3);
+        assert!(c.fill_dirty(s[0]).writeback.is_none());
+        c.fill(s[1], None);
+        let _ = c.access(s[1]); // keep s[0] as the LRU way
+        let out = c.fill(s[2], None); // evicts s[0]
+        assert_eq!(out.writeback, Some(s[0]));
+    }
+
+    #[test]
+    fn clean_evictions_do_not_write_back() {
+        let mut c = Cache::new(cfg());
+        let s = colliding(&c, 0, 3);
+        c.fill(s[0], None);
+        c.fill(s[1], None);
+        let out = c.fill(s[2], None);
+        assert_eq!(out.writeback, None);
+    }
+
+    #[test]
+    fn mark_dirty_hits_resident_lines_only() {
+        let mut c = Cache::new(cfg());
+        let s = colliding(&c, 0x100, 3);
+        c.fill(s[0], None);
+        assert!(c.mark_dirty(s[0]));
+        assert!(!c.mark_dirty(s[0] + 0x8000));
+        // The dirtied line writes back when evicted.
+        c.fill(s[1], None);
+        let out = c.fill(s[2], None);
+        assert_eq!(out.writeback, Some(s[0]));
+    }
+
+    #[test]
+    fn refill_merges_dirty_state() {
+        let mut c = Cache::new(cfg());
+        let s = colliding(&c, 0, 3);
+        c.fill_dirty(s[0]);
+        // A racing clean refill must not lose the dirty bit.
+        let out = c.fill(s[0], None);
+        assert_eq!(out.writeback, None);
+        c.fill(s[1], None);
+        let _ = c.access(s[1]);
+        let out = c.fill(s[2], None);
+        assert_eq!(out.writeback, Some(s[0]));
+    }
+
+    #[test]
+    fn occupancy_counts() {
+        let mut c = Cache::new(cfg());
+        assert_eq!(c.valid_lines(), 0);
+        c.fill(0x000, Some(prov(1)));
+        c.fill(0x080, None);
+        assert_eq!(c.valid_lines(), 2);
+        assert_eq!(c.unconsumed_prefetched_lines(), 1);
+    }
+}

@@ -1,0 +1,152 @@
+//! Memory access coalescer.
+//!
+//! Per §II-A, up to 32 per-thread requests of one warp instruction are
+//! merged into as few 128 B cache-line requests as possible. Perfectly
+//! regular warps produce one or two line requests; divergent/indirect
+//! warps can produce up to 32. The paper's prefetcher only targets loads
+//! that coalesce into at most four lines (§V-B).
+
+use crate::isa::AddrPattern;
+use crate::types::{line_base, Addr, CtaCoord};
+
+/// Coalesces one warp memory instruction into unique line requests,
+/// preserving first-touch lane order (deterministic).
+///
+/// `out` is a reusable scratch vector; it is cleared first.
+pub fn coalesce(
+    pattern: &AddrPattern,
+    cta: CtaCoord,
+    warp_in_cta: u32,
+    iter: u32,
+    active_lanes: u32,
+    line_size: u32,
+    out: &mut Vec<Addr>,
+) {
+    out.clear();
+    for lane in 0..active_lanes {
+        let line = line_base(pattern.addr(cta, warp_in_cta, lane, iter), line_size);
+        // Linear scan beats hashing at these sizes: regular warps produce
+        // 1–2 unique lines, divergent ones up to 32.
+        if !out.contains(&line) {
+            out.push(line);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{AffinePattern, CtaTerm, IndirectPattern};
+
+    fn cta0() -> CtaCoord {
+        CtaCoord {
+            x: 0,
+            y: 0,
+            linear: 0,
+        }
+    }
+
+    #[test]
+    fn dense_float_warp_coalesces_to_one_line() {
+        let p = AddrPattern::Affine(AffinePattern::dense(0, CtaTerm::Linear { pitch: 4096 }));
+        let mut out = Vec::new();
+        coalesce(&p, cta0(), 0, 0, 32, 128, &mut out);
+        assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    fn unaligned_dense_warp_spans_two_lines() {
+        let p = AddrPattern::Affine(AffinePattern {
+            base: 64,
+            cta_term: CtaTerm::Linear { pitch: 4096 },
+            warp_stride: 128,
+            lane_stride: 4,
+            iter_stride: 0,
+        });
+        let mut out = Vec::new();
+        coalesce(&p, cta0(), 0, 0, 32, 128, &mut out);
+        assert_eq!(out, vec![0, 128]);
+    }
+
+    #[test]
+    fn wide_lane_stride_fans_out() {
+        // 128 B per lane: every lane touches its own line.
+        let p = AddrPattern::Affine(AffinePattern {
+            base: 0,
+            cta_term: CtaTerm::Linear { pitch: 0 },
+            warp_stride: 0,
+            lane_stride: 128,
+            iter_stride: 0,
+        });
+        let mut out = Vec::new();
+        coalesce(&p, cta0(), 0, 0, 32, 128, &mut out);
+        assert_eq!(out.len(), 32);
+    }
+
+    #[test]
+    fn broadcast_access_is_one_line() {
+        let p = AddrPattern::Affine(AffinePattern {
+            base: 0x1000,
+            cta_term: CtaTerm::Linear { pitch: 0 },
+            warp_stride: 0,
+            lane_stride: 0,
+            iter_stride: 0,
+        });
+        let mut out = Vec::new();
+        coalesce(&p, cta0(), 0, 0, 32, 128, &mut out);
+        assert_eq!(out, vec![0x1000]);
+    }
+
+    #[test]
+    fn active_lane_count_limits_fanout() {
+        let p = AddrPattern::Affine(AffinePattern {
+            base: 0,
+            cta_term: CtaTerm::Linear { pitch: 0 },
+            warp_stride: 0,
+            lane_stride: 128,
+            iter_stride: 0,
+        });
+        let mut out = Vec::new();
+        coalesce(&p, cta0(), 0, 0, 4, 128, &mut out);
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn indirect_pattern_is_divergent() {
+        let p = AddrPattern::Indirect(IndirectPattern {
+            region_base: 0,
+            region_len: 1 << 26,
+            salt: 11,
+        });
+        let mut out = Vec::new();
+        coalesce(&p, cta0(), 0, 0, 32, 128, &mut out);
+        assert!(
+            out.len() > 4,
+            "indirect warp should span many lines, got {}",
+            out.len()
+        );
+    }
+
+    #[test]
+    fn lines_are_line_aligned_and_unique() {
+        let p = AddrPattern::Indirect(IndirectPattern {
+            region_base: 1 << 20,
+            region_len: 1 << 22,
+            salt: 3,
+        });
+        let mut out = Vec::new();
+        coalesce(&p, cta0(), 2, 1, 32, 128, &mut out);
+        for (i, &a) in out.iter().enumerate() {
+            assert_eq!(a % 128, 0);
+            assert!(!out[..i].contains(&a));
+        }
+    }
+
+    #[test]
+    fn scratch_vector_is_cleared() {
+        let p = AddrPattern::Affine(AffinePattern::dense(0, CtaTerm::Linear { pitch: 0 }));
+        let mut out = vec![0xdead_beef];
+        coalesce(&p, cta0(), 0, 0, 32, 128, &mut out);
+        assert_eq!(out, vec![0]);
+    }
+}

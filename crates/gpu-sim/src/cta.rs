@@ -1,0 +1,101 @@
+//! Per-CTA residency state on an SM.
+
+use crate::types::{CtaCoord, WarpSlot};
+
+/// A CTA resident in one of an SM's CTA slots.
+#[derive(Debug, Clone)]
+pub struct CtaState {
+    /// Grid coordinates of this CTA.
+    pub coord: CtaCoord,
+    /// First hardware warp slot assigned to the CTA (warps are
+    /// contiguous: `base_warp .. base_warp + warps`).
+    pub base_warp: WarpSlot,
+    /// Warps in the CTA.
+    pub warps: u32,
+    /// Warps still running.
+    pub running: u32,
+    /// Warps parked at the current barrier.
+    pub at_barrier: u32,
+}
+
+impl CtaState {
+    /// Fresh residency record.
+    pub fn new(coord: CtaCoord, base_warp: WarpSlot, warps: u32) -> Self {
+        CtaState {
+            coord,
+            base_warp,
+            warps,
+            running: warps,
+            at_barrier: 0,
+        }
+    }
+
+    /// Hardware warp slots of this CTA.
+    pub fn warp_slots(&self) -> std::ops::Range<WarpSlot> {
+        self.base_warp..self.base_warp + self.warps as usize
+    }
+
+    /// Register a warp arriving at a barrier; returns `true` when every
+    /// running warp has arrived and the barrier releases.
+    pub fn arrive_barrier(&mut self) -> bool {
+        self.at_barrier += 1;
+        debug_assert!(self.at_barrier <= self.running);
+        if self.at_barrier == self.running {
+            self.at_barrier = 0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Register a warp finishing; returns `true` when the CTA is done.
+    pub fn warp_finished(&mut self) -> bool {
+        debug_assert!(self.running > 0);
+        self.running -= 1;
+        self.running == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cta() -> CtaState {
+        CtaState::new(CtaCoord::from_linear(5, 4), 8, 4)
+    }
+
+    #[test]
+    fn warp_slots_are_contiguous() {
+        let c = cta();
+        assert_eq!(c.warp_slots(), 8..12);
+    }
+
+    #[test]
+    fn barrier_releases_when_all_arrive() {
+        let mut c = cta();
+        assert!(!c.arrive_barrier());
+        assert!(!c.arrive_barrier());
+        assert!(!c.arrive_barrier());
+        assert!(c.arrive_barrier());
+        // Counter resets for the next barrier.
+        assert!(!c.arrive_barrier());
+    }
+
+    #[test]
+    fn barrier_accounts_for_finished_warps() {
+        let mut c = cta();
+        assert!(!c.warp_finished());
+        assert!(!c.arrive_barrier());
+        assert!(!c.arrive_barrier());
+        assert!(c.arrive_barrier(), "3 running warps all arrived");
+    }
+
+    #[test]
+    fn cta_completes_when_all_warps_finish() {
+        let mut c = cta();
+        assert!(!c.warp_finished());
+        assert!(!c.warp_finished());
+        assert!(!c.warp_finished());
+        assert!(c.warp_finished());
+    }
+}

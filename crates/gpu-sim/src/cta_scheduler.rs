@@ -1,0 +1,96 @@
+//! Global CTA distributor (§II-B, Fig. 3).
+//!
+//! CTAs are assigned to SMs one at a time in round-robin order until every
+//! SM holds its maximum concurrent CTAs; afterwards assignment is purely
+//! demand-driven — a new CTA goes to whichever SM finishes one first. The
+//! resulting *non-consecutive* CTA residency per SM is exactly what breaks
+//! naive inter-warp stride prefetching across CTA boundaries.
+
+/// Dispenses CTA linear ids in launch order.
+#[derive(Debug, Clone)]
+pub struct CtaDistributor {
+    next: u32,
+    total: u32,
+}
+
+impl CtaDistributor {
+    /// Distributor for a grid of `total` CTAs.
+    pub fn new(total: u32) -> Self {
+        CtaDistributor { next: 0, total }
+    }
+
+    /// Next CTA id, if any remain unlaunched.
+    pub fn next_cta(&mut self) -> Option<u32> {
+        if self.next < self.total {
+            let id = self.next;
+            self.next += 1;
+            Some(id)
+        } else {
+            None
+        }
+    }
+
+    /// CTAs not yet dispensed.
+    pub fn remaining(&self) -> u32 {
+        self.total - self.next
+    }
+
+    /// The initial round-robin fill order: SM indices to offer CTAs, one
+    /// slot at a time, until every SM reaches `slots_per_sm` or the grid
+    /// is exhausted. Returns the launch plan as (sm, cta_id) pairs.
+    pub fn initial_fill(&mut self, num_sms: usize, slots_per_sm: usize) -> Vec<(usize, u32)> {
+        let mut plan = Vec::new();
+        'outer: for _round in 0..slots_per_sm {
+            for sm in 0..num_sms {
+                match self.next_cta() {
+                    Some(id) => plan.push((sm, id)),
+                    None => break 'outer,
+                }
+            }
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_initial_fill_matches_fig3() {
+        // Fig. 3: 12 CTAs, 3 SMs, 2 slots each → CTA 0,1,2 then 3,4,5.
+        let mut d = CtaDistributor::new(12);
+        let plan = d.initial_fill(3, 2);
+        assert_eq!(plan, vec![(0, 0), (1, 1), (2, 2), (0, 3), (1, 4), (2, 5)]);
+        assert_eq!(d.remaining(), 6);
+    }
+
+    #[test]
+    fn demand_driven_after_fill() {
+        let mut d = CtaDistributor::new(12);
+        let _ = d.initial_fill(3, 2);
+        // CTA 5 on SM 2 finishes first → SM 2 receives CTA 6 (Fig. 3).
+        assert_eq!(d.next_cta(), Some(6));
+        assert_eq!(d.next_cta(), Some(7));
+    }
+
+    #[test]
+    fn small_grid_underfills() {
+        let mut d = CtaDistributor::new(4);
+        let plan = d.initial_fill(3, 2);
+        assert_eq!(plan.len(), 4);
+        assert_eq!(d.next_cta(), None);
+        assert_eq!(d.remaining(), 0);
+    }
+
+    #[test]
+    fn exhausts_exactly_once() {
+        let mut d = CtaDistributor::new(5);
+        let mut got = Vec::new();
+        while let Some(id) = d.next_cta() {
+            got.push(id);
+        }
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+        assert_eq!(d.next_cta(), None);
+    }
+}

@@ -1,0 +1,345 @@
+//! GDDR5 DRAM channel with an FR-FCFS scheduler.
+//!
+//! Table III: 924 MHz, 6 channels, FR-FCFS with 16 scheduler-queue
+//! entries, GDDR5 timing (tCL=12, tRP=12, tRC=40, tRAS=28, tRCD=12,
+//! tRRD=6, tCDLR=5, tWR=12 — DRAM clocks). Timing is pre-converted into
+//! core cycles at construction so the whole simulator steps in one clock
+//! domain.
+//!
+//! FR-FCFS (first-ready, first-come-first-served) prioritizes requests
+//! that hit an open row buffer over older requests that would need an
+//! activation — the policy that makes DRAM throughput sensitive to the
+//! spatial order of the request stream, and therefore to prefetching.
+
+use crate::config::{DramTiming, GpuConfig};
+use crate::types::{Addr, Cycle};
+
+/// Effective row-buffer size per channel in bytes. A 32-bit GDDR5
+/// channel built from ×4 devices opens eight 2 KB chip rows in lockstep,
+/// so one activation exposes 16 KB of contiguous channel address space.
+pub const ROW_BYTES: u64 = 16 * 1024;
+
+/// A request queued at a DRAM channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramRequest {
+    /// Line address being read or written.
+    pub line: Addr,
+    /// Write (store) vs. read (fill) — writes produce no reply.
+    pub is_write: bool,
+    /// Originated from a prefetch (lower scheduling priority).
+    pub is_prefetch: bool,
+    /// Memory partition the reply must return to.
+    pub partition: usize,
+    /// Arrival order stamp for FCFS tie-breaking.
+    pub arrival: Cycle,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Bank {
+    open_row: Option<u64>,
+    ready_at: Cycle,
+}
+
+/// Pre-converted timing (core cycles).
+#[derive(Debug, Clone, Copy)]
+struct CoreTiming {
+    row_hit: u32,
+    row_miss: u32,
+    row_closed: u32,
+    burst: u32,
+    write_recovery: u32,
+}
+
+impl CoreTiming {
+    fn from(cfg: &GpuConfig, t: &DramTiming) -> Self {
+        CoreTiming {
+            // Open-row hit: CAS latency only.
+            row_hit: cfg.dram_to_core(t.t_cl),
+            // Row conflict: precharge + activate + CAS.
+            row_miss: cfg.dram_to_core(t.t_rp + t.t_rcd + t.t_cl),
+            // Closed bank: activate + CAS.
+            row_closed: cfg.dram_to_core(t.t_rcd + t.t_cl),
+            burst: cfg.dram_to_core(t.t_burst),
+            write_recovery: cfg.dram_to_core(t.t_wr),
+        }
+    }
+}
+
+/// One GDDR5 channel: banks with row buffers, a bounded FR-FCFS queue,
+/// and a shared data bus.
+#[derive(Debug)]
+pub struct DramChannel {
+    queue: Vec<DramRequest>,
+    queue_capacity: usize,
+    banks: Vec<Bank>,
+    bus_free_at: Cycle,
+    in_flight: Vec<(Cycle, DramRequest)>,
+    timing: CoreTiming,
+    /// Row-buffer hits serviced (stats).
+    pub row_hits: u64,
+    /// Row activations (misses + closed-bank opens).
+    pub row_misses: u64,
+    /// Read requests completed.
+    pub reads: u64,
+    /// Write requests completed.
+    pub writes: u64,
+}
+
+impl DramChannel {
+    /// Build a channel per `cfg`.
+    pub fn new(cfg: &GpuConfig) -> Self {
+        DramChannel {
+            queue: Vec::with_capacity(cfg.dram_queue_entries),
+            queue_capacity: cfg.dram_queue_entries,
+            banks: vec![
+                Bank {
+                    open_row: None,
+                    ready_at: 0
+                };
+                cfg.dram_banks
+            ],
+            bus_free_at: 0,
+            in_flight: Vec::new(),
+            timing: CoreTiming::from(cfg, &cfg.dram_timing),
+            row_hits: 0,
+            row_misses: 0,
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    /// Whether the scheduler queue can take another request.
+    #[inline]
+    pub fn can_accept(&self) -> bool {
+        self.queue.len() < self.queue_capacity
+    }
+
+    /// Requests waiting or in service.
+    #[inline]
+    pub fn pending(&self) -> usize {
+        self.queue.len() + self.in_flight.len()
+    }
+
+    /// Enqueue a request; caller must have checked [`Self::can_accept`].
+    pub fn push(&mut self, req: DramRequest) {
+        debug_assert!(self.can_accept(), "DRAM queue overflow");
+        self.queue.push(req);
+    }
+
+    #[inline]
+    fn bank_of(&self, line: Addr) -> usize {
+        ((line / ROW_BYTES) as usize) % self.banks.len()
+    }
+
+    #[inline]
+    fn row_of(line: Addr) -> u64 {
+        line / ROW_BYTES
+    }
+
+    /// Advance one core cycle: possibly start one request (FR-FCFS pick)
+    /// and drain completions into `done`.
+    pub fn step(&mut self, now: Cycle, done: &mut Vec<DramRequest>) {
+        // Completions first so their banks free this cycle.
+        let mut i = 0;
+        while i < self.in_flight.len() {
+            if self.in_flight[i].0 <= now {
+                let (_, req) = self.in_flight.swap_remove(i);
+                if req.is_write {
+                    self.writes += 1;
+                } else {
+                    self.reads += 1;
+                    done.push(req);
+                }
+            } else {
+                i += 1;
+            }
+        }
+
+        if self.queue.is_empty() {
+            return;
+        }
+
+        // FR-FCFS: among requests whose bank is ready, prefer row hits,
+        // then demand over prefetch, then older arrivals. One command
+        // issued per cycle.
+        let mut best: Option<(bool, bool, Cycle, usize)> = None; // (hit, demand, arrival, idx)
+        for (idx, req) in self.queue.iter().enumerate() {
+            let bank = self.bank_of(req.line);
+            if self.banks[bank].ready_at > now {
+                continue;
+            }
+            let row_hit = self.banks[bank].open_row == Some(Self::row_of(req.line));
+            let demand = !req.is_prefetch;
+            let better = match best {
+                None => true,
+                Some((bh, bd, ba, _)) => {
+                    (row_hit, demand, std::cmp::Reverse(req.arrival))
+                        > (bh, bd, std::cmp::Reverse(ba))
+                }
+            };
+            if better {
+                best = Some((row_hit, demand, req.arrival, idx));
+            }
+        }
+
+        let Some((row_hit, _, _, idx)) = best else {
+            return;
+        };
+        let req = self.queue.remove(idx);
+        let bank_idx = self.bank_of(req.line);
+        let row = Self::row_of(req.line);
+
+        let access = if row_hit {
+            self.row_hits += 1;
+            self.timing.row_hit
+        } else if self.banks[bank_idx].open_row.is_some() {
+            self.row_misses += 1;
+            self.timing.row_miss
+        } else {
+            self.row_misses += 1;
+            self.timing.row_closed
+        };
+
+        // The data burst occupies the shared bus at the tail of the
+        // access; bank-level parallelism overlaps the access phases.
+        let data_start = (now + access as Cycle).max(self.bus_free_at);
+        let data_at = data_start + self.timing.burst as Cycle;
+        self.bus_free_at = data_at;
+        let recovery = if req.is_write {
+            self.timing.write_recovery as Cycle
+        } else {
+            0
+        };
+        self.banks[bank_idx].ready_at = data_at + recovery;
+        self.banks[bank_idx].open_row = Some(row);
+        self.in_flight.push((data_at, req));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chan() -> DramChannel {
+        DramChannel::new(&GpuConfig::fermi_gtx480())
+    }
+
+    fn rd(line: Addr, arrival: Cycle) -> DramRequest {
+        DramRequest {
+            line,
+            is_write: false,
+            is_prefetch: false,
+            partition: 0,
+            arrival,
+        }
+    }
+
+    fn run_until_done(c: &mut DramChannel, mut now: Cycle, n: usize) -> Vec<(Cycle, DramRequest)> {
+        let mut got = Vec::new();
+        let mut scratch = Vec::new();
+        while got.len() < n {
+            c.step(now, &mut scratch);
+            for r in scratch.drain(..) {
+                got.push((now, r));
+            }
+            now += 1;
+            assert!(now < 1_000_000, "DRAM test did not converge");
+        }
+        got
+    }
+
+    #[test]
+    fn single_read_completes_with_closed_bank_latency() {
+        let mut c = chan();
+        c.push(rd(0, 0));
+        let done = run_until_done(&mut c, 0, 1);
+        // tRCD+tCL = 24 DRAM ≈ 37 core, + burst 7 core = 44.
+        let expect = GpuConfig::fermi_gtx480().dram_to_core(24) as u64
+            + GpuConfig::fermi_gtx480().dram_to_core(4) as u64;
+        assert_eq!(done[0].0, expect);
+        assert_eq!(c.reads, 1);
+        assert_eq!(c.row_misses, 1);
+    }
+
+    #[test]
+    fn same_row_second_access_is_a_row_hit() {
+        let mut c = chan();
+        c.push(rd(0, 0));
+        c.push(rd(128, 1));
+        let _ = run_until_done(&mut c, 0, 2);
+        assert_eq!(c.row_hits, 1);
+        assert_eq!(c.row_misses, 1);
+    }
+
+    #[test]
+    fn fr_fcfs_prefers_row_hit_over_older_conflict() {
+        let mut c = chan();
+        // Open row 0 on bank 0.
+        c.push(rd(0, 0));
+        let _ = run_until_done(&mut c, 0, 1);
+        // Now: an older request that conflicts (row 8 on bank 0) and a
+        // younger row hit (row 0). FR-FCFS must service the hit first.
+        c.push(rd(8 * ROW_BYTES, 10)); // bank 0, different row
+        c.push(rd(64, 11)); // bank 0, open row
+        let done = run_until_done(&mut c, 100, 2);
+        assert_eq!(done[0].1.line, 64, "row hit should be serviced first");
+        assert_eq!(done[1].1.line, 8 * ROW_BYTES);
+    }
+
+    #[test]
+    fn writes_complete_without_reply() {
+        let mut c = chan();
+        c.push(DramRequest {
+            line: 0,
+            is_write: true,
+            is_prefetch: false,
+            partition: 0,
+            arrival: 0,
+        });
+        let mut done = Vec::new();
+        for now in 0..2000 {
+            c.step(now, &mut done);
+        }
+        assert!(done.is_empty());
+        assert_eq!(c.writes, 1);
+    }
+
+    #[test]
+    fn queue_capacity_is_bounded() {
+        let mut c = chan();
+        for i in 0..16 {
+            assert!(c.can_accept());
+            c.push(rd(i * 4096, i));
+        }
+        assert!(!c.can_accept());
+    }
+
+    #[test]
+    fn different_banks_interleave() {
+        let mut c = chan();
+        // Two requests on different banks: bank-level parallelism means
+        // both finish sooner than strictly serialized access latencies.
+        c.push(rd(0, 0));
+        c.push(rd(ROW_BYTES, 1)); // next bank
+        let done = run_until_done(&mut c, 0, 2);
+        let cfg = GpuConfig::fermi_gtx480();
+        let serial = 2 * (cfg.dram_to_core(24) as u64 + cfg.dram_to_core(4) as u64);
+        assert!(
+            done[1].0 < serial,
+            "bank parallelism should beat serial: {} vs {serial}",
+            done[1].0
+        );
+    }
+
+    #[test]
+    fn pending_tracks_queue_and_flight() {
+        let mut c = chan();
+        c.push(rd(0, 0));
+        assert_eq!(c.pending(), 1);
+        let mut d = Vec::new();
+        c.step(0, &mut d);
+        assert_eq!(c.pending(), 1); // moved to in-flight
+        let _ = run_until_done(&mut c, 1, 1);
+        assert_eq!(c.pending(), 0);
+    }
+}

@@ -1,0 +1,498 @@
+//! Whole-GPU simulation loop: SMs, two interconnect networks, memory
+//! partitions, DRAM channels, and the CTA distributor.
+
+use crate::config::GpuConfig;
+use crate::cta_scheduler::CtaDistributor;
+use crate::dram::{DramChannel, DramRequest};
+use crate::interconnect::{MemReply, MemRequest, Network};
+use crate::kernel::Kernel;
+use crate::partition::MemoryPartition;
+use crate::prefetch::PrefetcherFactory;
+use crate::sched::make_scheduler;
+use crate::sm::Sm;
+use crate::stats::Stats;
+use crate::types::Cycle;
+
+/// Hard ceiling on simulated cycles; a run exceeding it returns what it
+/// has (mirrors the paper's one-billion-instruction cap).
+pub const DEFAULT_MAX_CYCLES: Cycle = 50_000_000;
+
+/// A complete GPU bound to one kernel launch.
+pub struct Gpu {
+    cfg: GpuConfig,
+    kernel: Kernel,
+    sms: Vec<Sm>,
+    req_net: Network<MemRequest>,
+    /// Low-priority virtual channel for prefetch requests: backed-up
+    /// prefetch traffic must never head-of-line block demands.
+    pf_req_net: Network<MemRequest>,
+    reply_net: Network<MemReply>,
+    /// Low-priority virtual channel for prefetch fills.
+    pf_reply_net: Network<MemReply>,
+    partitions: Vec<MemoryPartition>,
+    channels: Vec<DramChannel>,
+    distributor: CtaDistributor,
+    cycle: Cycle,
+    dram_done_scratch: Vec<DramRequest>,
+}
+
+impl Gpu {
+    /// Build a GPU running `kernel` with per-SM prefetchers from
+    /// `prefetcher_factory`.
+    pub fn new(cfg: GpuConfig, kernel: Kernel, prefetcher_factory: &PrefetcherFactory) -> Self {
+        cfg.validate();
+        kernel.validate().expect("invalid kernel");
+        let sms = (0..cfg.num_sms)
+            .map(|id| {
+                Sm::new(
+                    id,
+                    &cfg,
+                    &kernel,
+                    make_scheduler(&cfg),
+                    prefetcher_factory(id),
+                )
+            })
+            .collect::<Vec<_>>();
+        let req_net = Network::new(
+            cfg.num_partitions,
+            cfg.icnt_latency,
+            cfg.icnt_queue_depth,
+            cfg.icnt_bandwidth,
+        );
+        let pf_req_net = Network::new(
+            cfg.num_partitions,
+            cfg.icnt_latency,
+            cfg.icnt_queue_depth,
+            cfg.icnt_bandwidth,
+        );
+        let reply_net = Network::new(
+            cfg.num_sms,
+            cfg.icnt_latency,
+            cfg.icnt_queue_depth,
+            cfg.icnt_bandwidth,
+        );
+        let pf_reply_net = Network::new(
+            cfg.num_sms,
+            cfg.icnt_latency,
+            cfg.icnt_queue_depth,
+            cfg.icnt_bandwidth,
+        );
+        let partitions = (0..cfg.num_partitions)
+            .map(|id| MemoryPartition::new(id, &cfg))
+            .collect();
+        let channels = (0..cfg.num_dram_channels)
+            .map(|_| DramChannel::new(&cfg))
+            .collect();
+        let distributor = CtaDistributor::new(kernel.num_ctas());
+        Gpu {
+            cfg,
+            kernel,
+            sms,
+            req_net,
+            pf_req_net,
+            reply_net,
+            pf_reply_net,
+            partitions,
+            channels,
+            distributor,
+            cycle: 0,
+            dram_done_scratch: Vec::new(),
+        }
+    }
+
+    /// Current simulated cycle.
+    #[inline]
+    pub fn cycle(&self) -> Cycle {
+        self.cycle
+    }
+
+    /// Run until the kernel drains or `max_cycles` elapse; returns the
+    /// aggregated statistics.
+    pub fn run(&mut self, max_cycles: Cycle) -> Stats {
+        self.run_launches(1, max_cycles)
+    }
+
+    /// Run the kernel `launches` times back to back with persistent
+    /// caches — GPU applications launch iterative kernels repeatedly
+    /// (time steps, frontier sweeps, training epochs), so later launches
+    /// find their data warm in L2. This mirrors whole-application
+    /// simulation in GPGPU-Sim.
+    pub fn run_launches(&mut self, launches: u32, max_cycles: Cycle) -> Stats {
+        assert!(launches > 0);
+        for _ in 0..launches {
+            self.distributor = CtaDistributor::new(self.kernel.num_ctas());
+            self.initial_fill();
+            while !self.done() && self.cycle < max_cycles {
+                self.step();
+            }
+            if self.cycle >= max_cycles {
+                break;
+            }
+        }
+        self.collect_stats()
+    }
+
+    /// Run with the default cycle ceiling.
+    pub fn run_to_completion(&mut self) -> Stats {
+        self.run(DEFAULT_MAX_CYCLES)
+    }
+
+    /// Run a multi-kernel application (§II-A): the kernels execute back
+    /// to back with persistent caches, like dependent passes of one
+    /// program (e.g. the row and column passes of a separable
+    /// convolution, or forward/backward layers of training).
+    pub fn run_app(&mut self, kernels: &[Kernel], max_cycles: Cycle) -> Stats {
+        assert!(!kernels.is_empty());
+        for k in kernels {
+            self.bind_kernel(k.clone());
+            self.distributor = CtaDistributor::new(self.kernel.num_ctas());
+            self.initial_fill();
+            while !self.done() && self.cycle < max_cycles {
+                self.step();
+            }
+            if self.cycle >= max_cycles {
+                break;
+            }
+        }
+        self.collect_stats()
+    }
+
+    /// Replace the bound kernel (the GPU must be drained between
+    /// kernels; callers normally use [`Self::run_app`]).
+    pub fn bind_kernel(&mut self, kernel: Kernel) {
+        kernel.validate().expect("invalid kernel");
+        for sm in &mut self.sms {
+            sm.rebind(&kernel);
+        }
+        self.kernel = kernel;
+    }
+
+    fn initial_fill(&mut self) {
+        // Round-robin initial assignment (§II-B): one CTA at a time per
+        // SM until each reaches its residency cap.
+        let cap = self.sms[0].resident_cta_cap();
+        let plan = self.distributor.initial_fill(self.cfg.num_sms, cap);
+        for (sm, cta) in plan {
+            let coord = self.kernel.cta_coord(cta);
+            self.sms[sm].launch_cta(coord);
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.distributor.remaining() == 0
+            && self.sms.iter().all(Sm::is_idle)
+            && self.partitions.iter().all(MemoryPartition::idle)
+            && self.req_net.in_flight() == 0
+            && self.pf_req_net.in_flight() == 0
+            && self.reply_net.in_flight() == 0
+            && self.pf_reply_net.in_flight() == 0
+            && self.channels.iter().all(|c| c.pending() == 0)
+    }
+
+    /// Advance the whole GPU one core cycle.
+    pub fn step(&mut self) {
+        let now = self.cycle;
+        let mut completed = Vec::new();
+
+        // 1. Deliver fills to SMs: demand replies first, then the
+        // prefetch virtual channel.
+        self.reply_net.step(now);
+        self.pf_reply_net.step(now);
+        for sm in 0..self.cfg.num_sms {
+            for _ in 0..self.cfg.icnt_bandwidth {
+                match self.reply_net.pop_one(sm) {
+                    Some(reply) => self.sms[sm].on_fill(now, reply.line),
+                    None => break,
+                }
+            }
+            for _ in 0..self.cfg.icnt_bandwidth {
+                match self.pf_reply_net.pop_one(sm) {
+                    Some(reply) => self.sms[sm].on_fill(now, reply.line),
+                    None => break,
+                }
+            }
+        }
+
+        // 2. SM pipelines.
+        for sm in &mut self.sms {
+            sm.step(now, &self.kernel, &mut completed);
+        }
+
+        // 3. SM → request networks (bounded per SM per cycle; demands
+        // and stores ride the high-priority channel).
+        for sm in &mut self.sms {
+            for _ in 0..self.cfg.icnt_bandwidth {
+                let Some(req) = sm.pop_outbound() else { break };
+                let dst = self.cfg.partition_of(req.line);
+                if req.kind.is_prefetch() {
+                    self.pf_req_net.send(now, dst, req);
+                } else {
+                    self.req_net.send(now, dst, req);
+                }
+            }
+        }
+
+        // 4. Request networks → partitions (consumer-checked ejection;
+        // demand channel first).
+        self.req_net.step(now);
+        self.pf_req_net.step(now);
+        for p in 0..self.cfg.num_partitions {
+            for _ in 0..self.cfg.icnt_bandwidth {
+                let Some(req) = self.req_net.peek(p) else {
+                    break;
+                };
+                if !self.partitions[p].can_accept(req.kind) {
+                    break;
+                }
+                let req = self.req_net.pop_one(p).expect("peeked");
+                self.partitions[p].accept(now, req);
+            }
+            for _ in 0..self.cfg.icnt_bandwidth {
+                let Some(req) = self.pf_req_net.peek(p) else {
+                    break;
+                };
+                if !self.partitions[p].can_accept(req.kind) {
+                    break;
+                }
+                let req = self.pf_req_net.pop_one(p).expect("peeked");
+                self.partitions[p].accept(now, req);
+            }
+        }
+
+        // 5. DRAM channels advance; completions dispatch per partition.
+        self.dram_done_scratch.clear();
+        for ch in &mut self.channels {
+            ch.step(now, &mut self.dram_done_scratch);
+        }
+
+        // 6. Partitions service inputs and emit replies.
+        for p in 0..self.cfg.num_partitions {
+            let ch = self.cfg.channel_of_partition(p);
+            self.partitions[p].step(now, &mut self.channels[ch], &self.dram_done_scratch);
+            for _ in 0..self.cfg.icnt_bandwidth {
+                let Some(reply) = self.partitions[p].reply_out.pop_front() else {
+                    break;
+                };
+                self.reply_net.send(now, reply.sm, reply);
+            }
+            for _ in 0..self.cfg.icnt_bandwidth {
+                let Some(reply) = self.partitions[p].pf_reply_out.pop_front() else {
+                    break;
+                };
+                self.pf_reply_net.send(now, reply.sm, reply);
+            }
+        }
+
+        // 7. Demand-driven CTA refill (Fig. 3): completed CTAs free
+        // slots; the distributor hands out the next CTA ids.
+        if !completed.is_empty() {
+            self.refill_ctas();
+        }
+
+        self.cycle += 1;
+    }
+
+    fn refill_ctas(&mut self) {
+        for sm in &mut self.sms {
+            while sm.has_free_cta_slot() {
+                match self.distributor.next_cta() {
+                    Some(id) => {
+                        let coord = self.kernel.cta_coord(id);
+                        sm.launch_cta(coord);
+                    }
+                    None => break,
+                }
+            }
+        }
+    }
+
+    /// Aggregate statistics across SMs, partitions, channels, networks.
+    pub fn collect_stats(&mut self) -> Stats {
+        let mut total = Stats::default();
+        for sm in &mut self.sms {
+            sm.finalize();
+            total.absorb(&sm.stats);
+        }
+        total.cycles = self.cycle;
+        for p in &self.partitions {
+            total.l2_accesses += p.stats.accesses;
+            total.l2_hits += p.stats.hits;
+            total.l2_misses += p.stats.misses;
+            total.dram_queue_stalls += p.stats.dram_queue_stalls;
+        }
+        for c in &self.channels {
+            total.dram_reads += c.reads;
+            total.dram_writes += c.writes;
+            total.dram_row_hits += c.row_hits;
+            total.dram_row_misses += c.row_misses;
+        }
+        total.icnt_replies = self
+            .partitions
+            .iter()
+            .map(|p| p.stats.accesses)
+            .sum::<u64>()
+            .min(total.icnt_requests);
+        total.icnt_stalls = self.req_net.stall_events
+            + self.pf_req_net.stall_events
+            + self.reply_net.stall_events
+            + self.pf_reply_net.stall_events;
+        total
+    }
+
+    /// The configuration this GPU was built with.
+    pub fn config(&self) -> &GpuConfig {
+        &self.cfg
+    }
+
+    /// The kernel bound to this GPU.
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{AddrPattern, AffinePattern, CtaTerm, ProgramBuilder};
+    use crate::prefetch::null_factory;
+
+    fn stride_kernel(ctas: u32, warps_per_cta: u32) -> Kernel {
+        let pat = AddrPattern::Affine(AffinePattern {
+            base: 0,
+            cta_term: CtaTerm::Linear { pitch: 1 << 16 },
+            warp_stride: 128,
+            lane_stride: 4,
+            iter_stride: 0,
+        });
+        let prog = ProgramBuilder::new().alu(4).ld(pat).wait().alu(4).build();
+        Kernel::new("stride", (ctas, 1), warps_per_cta * 32, prog)
+    }
+
+    #[test]
+    fn small_kernel_completes() {
+        let cfg = GpuConfig::test_small();
+        let mut gpu = Gpu::new(cfg, stride_kernel(8, 4), &*null_factory());
+        let stats = gpu.run(1_000_000);
+        assert_eq!(stats.ctas_launched, 8);
+        assert_eq!(stats.ctas_completed, 8);
+        assert!(stats.cycles > 0);
+        assert!(stats.ipc() > 0.0);
+        // 8 CTAs × 4 warps × 3 counted instructions (WaitLoads is free).
+        assert_eq!(stats.warp_instructions, 8 * 4 * 3);
+    }
+
+    #[test]
+    fn all_loads_reach_memory_once_per_line() {
+        let cfg = GpuConfig::test_small();
+        let mut gpu = Gpu::new(cfg, stride_kernel(4, 2), &*null_factory());
+        let stats = gpu.run(1_000_000);
+        // 4 CTAs × 2 warps, distinct lines → all miss, all read DRAM.
+        assert_eq!(stats.l1d_demand_accesses, 8);
+        assert_eq!(stats.l1d_demand_misses, 8);
+        assert_eq!(stats.dram_reads, 8);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let cfg = GpuConfig::test_small();
+        let s1 = Gpu::new(cfg.clone(), stride_kernel(8, 4), &*null_factory()).run(1_000_000);
+        let s2 = Gpu::new(cfg, stride_kernel(8, 4), &*null_factory()).run(1_000_000);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn demand_driven_distribution_launches_all_ctas() {
+        // More CTAs than resident capacity forces demand-driven refill.
+        let cfg = GpuConfig::test_small();
+        let kernel = stride_kernel(64, 4);
+        let mut gpu = Gpu::new(cfg, kernel, &*null_factory());
+        let stats = gpu.run(5_000_000);
+        assert_eq!(stats.ctas_completed, 64);
+    }
+
+    #[test]
+    fn cycle_cap_stops_runaway() {
+        let cfg = GpuConfig::test_small();
+        let mut gpu = Gpu::new(cfg, stride_kernel(64, 4), &*null_factory());
+        let stats = gpu.run(100);
+        assert!(stats.cycles <= 100);
+    }
+
+    #[test]
+    fn multi_kernel_app_runs_both_passes_with_shared_caches() {
+        let cfg = GpuConfig::test_small();
+        // Pass 1 writes nothing we model; pass 2 re-reads pass 1's data:
+        // the second kernel must find it warm.
+        let k1 = stride_kernel(8, 4);
+        let k2 = {
+            // Same addresses, different geometry (8 warps per CTA).
+            let pat = AddrPattern::Affine(AffinePattern {
+                base: 0,
+                cta_term: CtaTerm::Linear { pitch: 1 << 15 },
+                warp_stride: 128,
+                lane_stride: 4,
+                iter_stride: 0,
+            });
+            let prog = ProgramBuilder::new().ld(pat).wait().alu(2).build();
+            Kernel::new("pass2", (4, 1), 256, prog)
+        };
+        let mut gpu = Gpu::new(cfg, k1.clone(), &*null_factory());
+        let stats = gpu.run_app(&[k1.clone(), k2], 2_000_000);
+        assert_eq!(stats.ctas_completed, 8 + 4);
+        // Pass 1 reads 32 unique lines; pass 2's 4×8 warps re-read lines
+        // inside the same footprint — DRAM reads must not double.
+        let solo = Gpu::new(GpuConfig::test_small(), k1, &*null_factory()).run(1_000_000);
+        assert!(
+            stats.dram_reads < 2 * solo.dram_reads + 8,
+            "second pass should hit caches: {} vs solo {}",
+            stats.dram_reads,
+            solo.dram_reads
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "rebind requires a drained SM")]
+    fn rebind_rejects_a_busy_sm() {
+        let cfg = GpuConfig::test_small();
+        let k = stride_kernel(8, 4);
+        let mut gpu = Gpu::new(cfg, k.clone(), &*null_factory());
+        // Start but don't finish, then try to bind mid-flight.
+        gpu.initial_fill();
+        for _ in 0..10 {
+            gpu.step();
+        }
+        gpu.bind_kernel(k);
+    }
+
+    #[test]
+    fn relaunches_find_a_warm_l2() {
+        // The whole-application model: the second launch re-reads the
+        // same addresses and must be served by L2, not DRAM.
+        let cfg = GpuConfig::test_small();
+        let one = Gpu::new(cfg.clone(), stride_kernel(8, 4), &*null_factory()).run(1_000_000);
+        let two = Gpu::new(cfg, stride_kernel(8, 4), &*null_factory()).run_launches(2, 1_000_000);
+        assert_eq!(two.ctas_completed, 2 * one.ctas_completed);
+        assert_eq!(
+            two.dram_reads, one.dram_reads,
+            "second launch must not re-read DRAM"
+        );
+        // The relaunch is served from cache (L1 or L2, depending on how
+        // much the tiny test config retains).
+        let cached_one = one.l1d_demand_hits + one.l2_hits;
+        let cached_two = two.l1d_demand_hits + two.l2_hits;
+        assert!(cached_two > cached_one, "{cached_two} vs {cached_one}");
+    }
+
+    #[test]
+    fn relaunch_cycles_are_cheaper_when_warm() {
+        let cfg = GpuConfig::test_small();
+        let one = Gpu::new(cfg.clone(), stride_kernel(16, 4), &*null_factory()).run(1_000_000);
+        let two = Gpu::new(cfg, stride_kernel(16, 4), &*null_factory()).run_launches(2, 1_000_000);
+        let second = two.cycles - one.cycles;
+        assert!(
+            second < one.cycles,
+            "warm launch ({second}) should be faster than cold ({})",
+            one.cycles
+        );
+    }
+}

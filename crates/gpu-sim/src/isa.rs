@@ -1,0 +1,698 @@
+//! Kernel intermediate representation.
+//!
+//! The paper's analysis (§IV, Fig. 6) shows that GPU load addresses are a
+//! mix of three ingredients:
+//!
+//! * **CTA-specific terms** `θ = C1 + C2·C3`, functions of `blockIdx.{x,y}`
+//!   that are constant within a CTA but *irregular across the CTAs resident
+//!   on one SM* (because SMs receive non-consecutive CTAs, Fig. 3/5);
+//! * a **warp stride** `Δ` between consecutive warps of a CTA, identical in
+//!   every CTA of the kernel;
+//! * a **per-thread pitch** (`threadIdx * C3`), and optionally a
+//!   loop-iteration stride for loads inside loops.
+//!
+//! [`AddrPattern::Affine`] captures exactly that decomposition, and
+//! [`AddrPattern::Indirect`] models data-dependent accesses
+//! (`g_graph_edges[i]`-style) that no stride prefetcher can predict; the
+//! paper excludes those via backward register tracing, which we mirror with
+//! the pattern's explicit origin.
+
+use crate::types::{Addr, CtaCoord, Pc};
+
+/// How the CTA-specific base address `θ` depends on the CTA coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CtaTerm {
+    /// `θ = linear_cta_id · pitch` — 1-D grids (e.g. BFS's
+    /// `blockIdx.x * MAX_THREADS_PER_BLOCK`).
+    Linear {
+        /// Bytes between the bases of CTA *i* and CTA *i+1*.
+        pitch: i64,
+    },
+    /// `θ = blockIdx.x · x_pitch + blockIdx.y · y_pitch` — 2-D grids
+    /// (e.g. LPS's `blockIdx.x*BLOCK_X + blockIdx.y*BLOCK_Y*pitch`).
+    /// With `y_pitch ≠ grid_x · x_pitch` the bases of consecutively
+    /// *launched* CTAs are not equally spaced, which is what defeats
+    /// naive inter-warp stride prediction at CTA boundaries.
+    Surface2D {
+        /// Contribution of `blockIdx.x` in bytes.
+        x_pitch: i64,
+        /// Contribution of `blockIdx.y` in bytes.
+        y_pitch: i64,
+    },
+}
+
+impl CtaTerm {
+    /// Evaluate `θ` for a concrete CTA.
+    #[inline]
+    pub fn theta(&self, cta: CtaCoord) -> i64 {
+        match *self {
+            CtaTerm::Linear { pitch } => cta.linear as i64 * pitch,
+            CtaTerm::Surface2D { x_pitch, y_pitch } => {
+                cta.x as i64 * x_pitch + cta.y as i64 * y_pitch
+            }
+        }
+    }
+}
+
+/// A fully affine load/store address generator:
+/// `addr = base + θ(cta) + warp_in_cta·Δ + lane·lane_stride + iter·iter_stride`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AffinePattern {
+    /// Array base address (`C1`-like constant).
+    pub base: Addr,
+    /// CTA-dependent term.
+    pub cta_term: CtaTerm,
+    /// `Δ`: bytes between the addresses of consecutive warps within a CTA.
+    pub warp_stride: i64,
+    /// Bytes between consecutive lanes of a warp (4 for `float`).
+    pub lane_stride: i64,
+    /// Bytes advanced per loop iteration for loads inside loops.
+    pub iter_stride: i64,
+}
+
+impl AffinePattern {
+    /// A dense `float` array access: 4 B lanes, warp stride = 128 B
+    /// (perfectly coalesced row-major).
+    pub fn dense(base: Addr, cta_term: CtaTerm) -> Self {
+        AffinePattern {
+            base,
+            cta_term,
+            warp_stride: 128,
+            lane_stride: 4,
+            iter_stride: 0,
+        }
+    }
+
+    /// Evaluate the address of one lane.
+    #[inline]
+    pub fn addr(&self, cta: CtaCoord, warp_in_cta: u32, lane: u32, iter: u32) -> Addr {
+        let v = self.base as i64
+            + self.cta_term.theta(cta)
+            + warp_in_cta as i64 * self.warp_stride
+            + lane as i64 * self.lane_stride
+            + iter as i64 * self.iter_stride;
+        debug_assert!(v >= 0, "affine pattern generated a negative address");
+        v as Addr
+    }
+}
+
+/// Pseudo-random but deterministic address stream for indirect accesses.
+/// Mirrors graph-analytics loads whose addresses are themselves loaded
+/// data (`g_cost[g_graph_edges[i]]`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndirectPattern {
+    /// Base of the indirectly indexed region.
+    pub region_base: Addr,
+    /// Region length in bytes; generated addresses stay inside it.
+    pub region_len: u64,
+    /// Per-load salt so distinct indirect loads produce distinct streams.
+    pub salt: u64,
+}
+
+impl IndirectPattern {
+    /// Evaluate the (deterministic) pseudo-random address of one lane.
+    /// SplitMix64 over (salt, cta, warp, lane, iter) — high-quality
+    /// mixing keeps the stream stride-free for any observer.
+    #[inline]
+    pub fn addr(&self, cta: CtaCoord, warp_in_cta: u32, lane: u32, iter: u32) -> Addr {
+        let key = self
+            .salt
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add((cta.linear as u64) << 40)
+            .wrapping_add((warp_in_cta as u64) << 24)
+            .wrapping_add((iter as u64) << 8)
+            .wrapping_add(lane as u64);
+        let mixed = splitmix64(key);
+        // Word-align inside the region.
+        self.region_base + (mixed % self.region_len.max(4)) / 4 * 4
+    }
+}
+
+/// Deterministic warp-predicate hash used by [`Op::SkipIf`].
+#[inline]
+pub fn warp_predicate(cta: CtaCoord, warp_in_cta: u32, iter: u32, modulo: u32) -> bool {
+    debug_assert!(modulo >= 1);
+    let key = ((cta.linear as u64) << 34)
+        ^ ((warp_in_cta as u64) << 21)
+        ^ ((iter as u64) << 3)
+        ^ 0x5bd1_e995;
+    splitmix64(key) % modulo as u64 == 0
+}
+
+#[inline]
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Address generator of a memory instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AddrPattern {
+    /// Thread-id/CTA-id derived address — prefetchable in principle.
+    Affine(AffinePattern),
+    /// Data-dependent address — backward register tracing would find a
+    /// loaded value as the source, so CTA-aware prefetching excludes it.
+    Indirect(IndirectPattern),
+}
+
+impl AddrPattern {
+    /// Evaluate the address of one lane.
+    #[inline]
+    pub fn addr(&self, cta: CtaCoord, warp_in_cta: u32, lane: u32, iter: u32) -> Addr {
+        match self {
+            AddrPattern::Affine(p) => p.addr(cta, warp_in_cta, lane, iter),
+            AddrPattern::Indirect(p) => p.addr(cta, warp_in_cta, lane, iter),
+        }
+    }
+
+    /// Whether backward register tracing (Koo et al., IISWC'15) would
+    /// classify this load's source operands as thread-id/CTA-id derived.
+    #[inline]
+    pub fn is_affine(&self) -> bool {
+        matches!(self, AddrPattern::Affine(_))
+    }
+}
+
+/// One static instruction of a kernel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Op {
+    /// Arithmetic work: occupies the warp's issue slot once and completes
+    /// after `cycles` (fully pipelined; no structural hazard modelled).
+    Alu {
+        /// Execution latency in core cycles.
+        cycles: u32,
+    },
+    /// A global load. Coalesced per warp into line requests.
+    Ld {
+        /// Static PC tag — prefetch tables are indexed by this.
+        pc: Pc,
+        /// Address generator.
+        pattern: AddrPattern,
+        /// Active lanes (≤ SIMT width); divergent apps use fewer.
+        active_lanes: u32,
+    },
+    /// A global store. Fire-and-forget traffic (write-through,
+    /// no-allocate at L1).
+    St {
+        /// Static PC tag.
+        pc: Pc,
+        /// Address generator.
+        pattern: AddrPattern,
+        /// Active lanes.
+        active_lanes: u32,
+    },
+    /// Consume previously loaded values: the warp cannot proceed past
+    /// this point until all its outstanding loads have returned. This is
+    /// the "long-latency" event that demotes a warp to the two-level
+    /// scheduler's pending queue.
+    WaitLoads,
+    /// Begin a counted loop with `iters` iterations. The matching
+    /// `LoopEnd` is at `end` (index of the instruction *after* the loop).
+    LoopBegin {
+        /// Trip count.
+        iters: u32,
+        /// Index one past the matching [`Op::LoopEnd`].
+        end: usize,
+    },
+    /// End of a counted loop; jumps back to `start` (the `LoopBegin`)
+    /// while iterations remain.
+    LoopEnd {
+        /// Index of the matching [`Op::LoopBegin`].
+        start: usize,
+    },
+    /// CTA-wide barrier: the warp waits until all warps of its CTA reach
+    /// the same barrier.
+    Barrier,
+    /// Warp-level divergence: skip the next `len` instructions unless a
+    /// deterministic hash of (CTA, warp, iteration) is ≡ 0 mod `modulo`
+    /// — i.e. roughly one in `modulo` warps executes the guarded block.
+    /// Models frontier-style predication (`if (g_graph_mask[tid]) { … }`)
+    /// where most warps fall through.
+    SkipIf {
+        /// 1-in-`modulo` warps take the guarded block (≥ 1).
+        modulo: u32,
+        /// Instructions guarded by the predicate.
+        len: usize,
+    },
+}
+
+impl Op {
+    /// `true` for instructions that issue memory requests.
+    #[inline]
+    pub fn is_mem(&self) -> bool {
+        matches!(self, Op::Ld { .. } | Op::St { .. })
+    }
+}
+
+/// A straight-line kernel program with structured counted loops.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    ops: Vec<Op>,
+}
+
+impl Program {
+    /// The instruction sequence.
+    #[inline]
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Number of static instructions.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` when the program has no instructions.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Instruction at `idx`.
+    #[inline]
+    pub fn op(&self, idx: usize) -> Op {
+        self.ops[idx]
+    }
+
+    /// Static loads, paired with the trip count of the innermost loop
+    /// enclosing them (1 when not in a loop). Drives the Fig. 4 analysis.
+    pub fn static_loads(&self) -> Vec<(Pc, u32, bool)> {
+        let mut out = Vec::new();
+        let mut loop_stack: Vec<u32> = Vec::new();
+        for op in &self.ops {
+            match *op {
+                Op::LoopBegin { iters, .. } => loop_stack.push(iters),
+                Op::LoopEnd { .. } => {
+                    loop_stack.pop();
+                }
+                Op::Ld { pc, .. } => {
+                    let iters = loop_stack.last().copied().unwrap_or(1);
+                    out.push((pc, iters, !loop_stack.is_empty()));
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Validates structural well-formedness (balanced loops, correct
+    /// jump targets, positive trip counts, lane counts within width).
+    pub fn validate(&self, simt_width: u32) -> Result<(), String> {
+        let mut stack = Vec::new();
+        for (i, op) in self.ops.iter().enumerate() {
+            match *op {
+                Op::LoopBegin { iters, end } => {
+                    if iters == 0 {
+                        return Err(format!("op {i}: zero-trip loop"));
+                    }
+                    if end > self.ops.len() {
+                        return Err(format!("op {i}: loop end {end} out of range"));
+                    }
+                    stack.push((i, end));
+                }
+                Op::LoopEnd { start } => match stack.pop() {
+                    Some((begin, end)) => {
+                        if start != begin {
+                            return Err(format!(
+                                "op {i}: LoopEnd start {start} does not match LoopBegin {begin}"
+                            ));
+                        }
+                        if end != i + 1 {
+                            return Err(format!(
+                                "op {begin}: LoopBegin end {end} should be {}",
+                                i + 1
+                            ));
+                        }
+                    }
+                    None => return Err(format!("op {i}: LoopEnd without LoopBegin")),
+                },
+                Op::SkipIf { modulo, len } => {
+                    if modulo == 0 {
+                        return Err(format!("op {i}: SkipIf with modulo 0"));
+                    }
+                    if i + 1 + len > self.ops.len() {
+                        return Err(format!("op {i}: SkipIf guards past program end"));
+                    }
+                }
+                Op::Ld { active_lanes, .. } | Op::St { active_lanes, .. }
+                    if (active_lanes == 0 || active_lanes > simt_width) =>
+                {
+                    return Err(format!("op {i}: invalid active lane count {active_lanes}"));
+                }
+                _ => {}
+            }
+        }
+        if let Some((begin, _)) = stack.pop() {
+            return Err(format!("op {begin}: unterminated loop"));
+        }
+        Ok(())
+    }
+}
+
+/// Fluent builder for [`Program`] that assigns PCs and closes loops.
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    ops: Vec<Op>,
+    next_pc: Pc,
+    loop_starts: Vec<usize>,
+    skip_starts: Vec<usize>,
+}
+
+impl ProgramBuilder {
+    /// Empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append ALU work of `cycles` latency.
+    pub fn alu(mut self, cycles: u32) -> Self {
+        self.ops.push(Op::Alu { cycles });
+        self
+    }
+
+    /// Append a fully-active global load; the PC is auto-assigned.
+    pub fn ld(self, pattern: AddrPattern) -> Self {
+        self.ld_lanes(pattern, 32)
+    }
+
+    /// Append a global load with an explicit active-lane count.
+    pub fn ld_lanes(mut self, pattern: AddrPattern, active_lanes: u32) -> Self {
+        let pc = self.alloc_pc();
+        self.ops.push(Op::Ld {
+            pc,
+            pattern,
+            active_lanes,
+        });
+        self
+    }
+
+    /// Append a fully-active global store.
+    pub fn st(self, pattern: AddrPattern) -> Self {
+        self.st_lanes(pattern, 32)
+    }
+
+    /// Append a global store with an explicit active-lane count.
+    pub fn st_lanes(mut self, pattern: AddrPattern, active_lanes: u32) -> Self {
+        let pc = self.alloc_pc();
+        self.ops.push(Op::St {
+            pc,
+            pattern,
+            active_lanes,
+        });
+        self
+    }
+
+    /// Append a wait-for-all-loads dependence point.
+    pub fn wait(mut self) -> Self {
+        self.ops.push(Op::WaitLoads);
+        self
+    }
+
+    /// Append a CTA barrier.
+    pub fn barrier(mut self) -> Self {
+        self.ops.push(Op::Barrier);
+        self
+    }
+
+    /// Open a predicated block executed by roughly one in `modulo`
+    /// warps; close it with [`ProgramBuilder::end_skip`].
+    pub fn begin_skip(mut self, modulo: u32) -> Self {
+        self.skip_starts.push(self.ops.len());
+        self.ops.push(Op::SkipIf { modulo, len: usize::MAX });
+        self
+    }
+
+    /// Close the innermost open predicated block.
+    pub fn end_skip(mut self) -> Self {
+        let start = self.skip_starts.pop().expect("end_skip without begin_skip");
+        let len = self.ops.len() - start - 1;
+        match &mut self.ops[start] {
+            Op::SkipIf { len: l, .. } => *l = len,
+            _ => unreachable!("skip start index must point at SkipIf"),
+        }
+        self
+    }
+
+    /// Open a counted loop; close it with [`ProgramBuilder::end_loop`].
+    pub fn begin_loop(mut self, iters: u32) -> Self {
+        self.loop_starts.push(self.ops.len());
+        self.ops.push(Op::LoopBegin {
+            iters,
+            end: usize::MAX,
+        });
+        self
+    }
+
+    /// Close the innermost open loop.
+    pub fn end_loop(mut self) -> Self {
+        let start = self.loop_starts.pop().expect("end_loop without begin_loop");
+        let end = self.ops.len() + 1;
+        self.ops.push(Op::LoopEnd { start });
+        match &mut self.ops[start] {
+            Op::LoopBegin { end: e, .. } => *e = end,
+            _ => unreachable!("loop start index must point at LoopBegin"),
+        }
+        self
+    }
+
+    /// Finish; panics if a loop is left open or the program is invalid.
+    pub fn build(self) -> Program {
+        assert!(
+            self.loop_starts.is_empty(),
+            "unclosed loop in program builder"
+        );
+        assert!(
+            self.skip_starts.is_empty(),
+            "unclosed skip block in program builder"
+        );
+        let p = Program { ops: self.ops };
+        if let Err(e) = p.validate(32) {
+            panic!("invalid program: {e}");
+        }
+        p
+    }
+
+    fn alloc_pc(&mut self) -> Pc {
+        let pc = self.next_pc;
+        self.next_pc += 8; // instruction-width spacing, cosmetic
+        pc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense(base: Addr) -> AddrPattern {
+        AddrPattern::Affine(AffinePattern::dense(base, CtaTerm::Linear { pitch: 4096 }))
+    }
+
+    #[test]
+    fn affine_addr_decomposition() {
+        let p = AffinePattern {
+            base: 0x1000,
+            cta_term: CtaTerm::Surface2D {
+                x_pitch: 128,
+                y_pitch: 5120,
+            },
+            warp_stride: 1280,
+            lane_stride: 4,
+            iter_stride: 40960,
+        };
+        let cta = CtaCoord {
+            x: 3,
+            y: 2,
+            linear: 13,
+        };
+        // base + 3*128 + 2*5120 + warp 2*1280 + lane 5*4 + iter 1*40960
+        assert_eq!(
+            p.addr(cta, 2, 5, 1),
+            0x1000 + 384 + 10240 + 2560 + 20 + 40960
+        );
+    }
+
+    #[test]
+    fn warp_stride_is_cta_invariant() {
+        // The core premise of CAP: Δ between consecutive warps is the same
+        // in every CTA even when θ is irregular.
+        let p = AffinePattern {
+            base: 0,
+            cta_term: CtaTerm::Surface2D {
+                x_pitch: 128,
+                y_pitch: 99840,
+            },
+            warp_stride: 512,
+            lane_stride: 4,
+            iter_stride: 0,
+        };
+        for linear in [0u32, 7, 19, 101] {
+            let cta = CtaCoord::from_linear(linear, 13);
+            let d = p.addr(cta, 3, 0, 0) - p.addr(cta, 2, 0, 0);
+            assert_eq!(d, 512);
+        }
+    }
+
+    #[test]
+    fn cta_bases_are_irregular_in_launch_order() {
+        // §IV: distances between CTA bases seen by one SM are not constant.
+        let term = CtaTerm::Surface2D {
+            x_pitch: 128,
+            y_pitch: 5184,
+        };
+        let b = |l| term.theta(CtaCoord::from_linear(l, 8));
+        let d1 = b(9) - b(0);
+        let d2 = b(20) - b(9);
+        assert_ne!(d1, d2);
+    }
+
+    #[test]
+    fn indirect_addresses_stay_in_region() {
+        let p = IndirectPattern {
+            region_base: 1 << 20,
+            region_len: 1 << 16,
+            salt: 7,
+        };
+        let cta = CtaCoord::from_linear(3, 4);
+        for lane in 0..32 {
+            let a = p.addr(cta, 1, lane, 0);
+            assert!((1 << 20..(1 << 20) + (1 << 16)).contains(&a));
+            assert_eq!(a % 4, 0);
+        }
+    }
+
+    #[test]
+    fn indirect_addresses_have_no_common_warp_stride() {
+        let p = IndirectPattern {
+            region_base: 0,
+            region_len: 1 << 24,
+            salt: 3,
+        };
+        let cta = CtaCoord::from_linear(0, 4);
+        let d0 = p.addr(cta, 1, 0, 0) as i64 - p.addr(cta, 0, 0, 0) as i64;
+        let d1 = p.addr(cta, 2, 0, 0) as i64 - p.addr(cta, 1, 0, 0) as i64;
+        assert_ne!(d0, d1);
+    }
+
+    #[test]
+    fn builder_assigns_distinct_pcs_and_closes_loops() {
+        let prog = ProgramBuilder::new()
+            .alu(4)
+            .begin_loop(10)
+            .ld(dense(0))
+            .wait()
+            .end_loop()
+            .st(dense(1 << 20))
+            .build();
+        assert_eq!(prog.len(), 6);
+        let pcs: Vec<Pc> = prog
+            .ops()
+            .iter()
+            .filter_map(|op| match *op {
+                Op::Ld { pc, .. } | Op::St { pc, .. } => Some(pc),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(pcs.len(), 2);
+        assert_ne!(pcs[0], pcs[1]);
+        match prog.op(1) {
+            Op::LoopBegin { iters, end } => {
+                assert_eq!(iters, 10);
+                assert_eq!(end, 5);
+            }
+            other => panic!("expected LoopBegin, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn static_loads_reports_loop_membership() {
+        let prog = ProgramBuilder::new()
+            .ld(dense(0))
+            .begin_loop(62)
+            .ld(dense(4096))
+            .end_loop()
+            .build();
+        let loads = prog.static_loads();
+        assert_eq!(loads.len(), 2);
+        assert_eq!(loads[0].1, 1);
+        assert!(!loads[0].2);
+        assert_eq!(loads[1].1, 62);
+        assert!(loads[1].2);
+    }
+
+    #[test]
+    fn validate_rejects_zero_lane_loads() {
+        let p = Program {
+            ops: vec![Op::Ld {
+                pc: 0,
+                pattern: dense(0),
+                active_lanes: 0,
+            }],
+        };
+        assert!(p.validate(32).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed loop")]
+    fn builder_panics_on_unclosed_loop() {
+        let _ = ProgramBuilder::new().begin_loop(2).alu(1).build();
+    }
+
+    #[test]
+    fn skip_blocks_build_and_validate() {
+        let prog = ProgramBuilder::new()
+            .alu(1)
+            .begin_skip(4)
+            .ld(dense(0))
+            .wait()
+            .end_skip()
+            .alu(1)
+            .build();
+        match prog.op(1) {
+            Op::SkipIf { modulo, len } => {
+                assert_eq!(modulo, 4);
+                assert_eq!(len, 2);
+            }
+            other => panic!("expected SkipIf, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn warp_predicate_is_deterministic_and_sparse() {
+        let cta = CtaCoord::from_linear(7, 16);
+        assert_eq!(
+            warp_predicate(cta, 3, 0, 4),
+            warp_predicate(cta, 3, 0, 4),
+            "deterministic"
+        );
+        // With modulo 1 every warp takes the block.
+        for w in 0..8 {
+            assert!(warp_predicate(cta, w, 0, 1));
+        }
+        // With a large modulo most warps skip.
+        let taken = (0..64).filter(|&w| warp_predicate(cta, w, 0, 8)).count();
+        assert!(taken < 32, "roughly 1/8 of warps take the block, got {taken}");
+    }
+
+    #[test]
+    fn skip_past_end_is_invalid() {
+        let p = Program {
+            ops: vec![Op::SkipIf { modulo: 2, len: 3 }, Op::Alu { cycles: 1 }],
+        };
+        assert!(p.validate(32).is_err());
+    }
+
+    #[test]
+    fn nested_loops_validate() {
+        let prog = ProgramBuilder::new()
+            .begin_loop(3)
+            .begin_loop(5)
+            .alu(1)
+            .end_loop()
+            .end_loop()
+            .build();
+        assert!(prog.validate(32).is_ok());
+    }
+}

@@ -1,0 +1,119 @@
+//! Kernel launch descriptors: a [`Program`] plus grid/CTA geometry
+//! (Fig. 2b — kernels split into CTAs, CTAs into warps).
+
+use crate::isa::Program;
+use crate::types::CtaCoord;
+
+/// A kernel launch: the program and its thread geometry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Kernel {
+    /// Human-readable name (benchmark abbreviation).
+    pub name: String,
+    /// Grid dimensions in CTAs.
+    pub grid_dim: (u32, u32),
+    /// Threads per CTA (multiple of the SIMT width).
+    pub threads_per_cta: u32,
+    /// The program every thread executes.
+    pub program: Program,
+}
+
+impl Kernel {
+    /// Construct and validate a kernel.
+    pub fn new(
+        name: impl Into<String>,
+        grid_dim: (u32, u32),
+        threads_per_cta: u32,
+        program: Program,
+    ) -> Self {
+        let k = Kernel {
+            name: name.into(),
+            grid_dim,
+            threads_per_cta,
+            program,
+        };
+        k.validate().expect("invalid kernel");
+        k
+    }
+
+    /// Total CTAs in the grid.
+    #[inline]
+    pub fn num_ctas(&self) -> u32 {
+        self.grid_dim.0 * self.grid_dim.1
+    }
+
+    /// Warps per CTA for a given SIMT width.
+    #[inline]
+    pub fn warps_per_cta(&self, simt_width: u32) -> u32 {
+        self.threads_per_cta.div_ceil(simt_width)
+    }
+
+    /// Total warps launched by the kernel.
+    #[inline]
+    pub fn total_warps(&self, simt_width: u32) -> u64 {
+        self.num_ctas() as u64 * self.warps_per_cta(simt_width) as u64
+    }
+
+    /// Coordinates of CTA number `linear` in launch order.
+    #[inline]
+    pub fn cta_coord(&self, linear: u32) -> CtaCoord {
+        CtaCoord::from_linear(linear, self.grid_dim.0)
+    }
+
+    /// Structural validation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.grid_dim.0 == 0 || self.grid_dim.1 == 0 {
+            return Err("empty grid".into());
+        }
+        if self.threads_per_cta == 0 {
+            return Err("zero threads per CTA".into());
+        }
+        if !self.threads_per_cta.is_multiple_of(32) {
+            return Err(format!(
+                "threads_per_cta {} is not a multiple of the warp size",
+                self.threads_per_cta
+            ));
+        }
+        if self.program.is_empty() {
+            return Err("empty program".into());
+        }
+        self.program.validate(32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{AddrPattern, AffinePattern, CtaTerm, ProgramBuilder};
+
+    fn prog() -> Program {
+        ProgramBuilder::new()
+            .ld(AddrPattern::Affine(AffinePattern::dense(
+                0,
+                CtaTerm::Linear { pitch: 4096 },
+            )))
+            .wait()
+            .build()
+    }
+
+    #[test]
+    fn geometry_helpers() {
+        let k = Kernel::new("t", (8, 4), 128, prog());
+        assert_eq!(k.num_ctas(), 32);
+        assert_eq!(k.warps_per_cta(32), 4);
+        assert_eq!(k.total_warps(32), 128);
+        let c = k.cta_coord(9);
+        assert_eq!((c.x, c.y), (1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid kernel")]
+    fn rejects_non_warp_multiple() {
+        let _ = Kernel::new("t", (1, 1), 100, prog());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid kernel")]
+    fn rejects_empty_grid() {
+        let _ = Kernel::new("t", (0, 1), 128, prog());
+    }
+}

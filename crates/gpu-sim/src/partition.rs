@@ -1,0 +1,426 @@
+//! Memory partition: one L2 bank plus its binding to a DRAM channel.
+//!
+//! Requests arrive from the interconnect, look up the L2 bank, and on a
+//! miss enter the partition's MSHRs and the (possibly shared) DRAM
+//! channel's FR-FCFS queue. Fills flow back as per-SM replies. Stores are
+//! write-through to DRAM (no reply), matching the simulator's L1
+//! write-evict / no-allocate policy.
+
+use std::collections::VecDeque;
+
+use crate::cache::{Cache, Lookup};
+use crate::config::GpuConfig;
+use crate::dram::{DramChannel, DramRequest};
+use crate::interconnect::{MemReply, MemRequest};
+use crate::mshr::{MshrFile, MshrOutcome, Waiter};
+use crate::types::{AccessKind, Cycle};
+
+/// Per-partition statistics.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PartitionStats {
+    /// L2 lookups (loads only).
+    pub accesses: u64,
+    /// L2 hits.
+    pub hits: u64,
+    /// L2 misses sent toward DRAM.
+    pub misses: u64,
+    /// Cycles the head request stalled on a full MSHR file or DRAM queue.
+    pub dram_queue_stalls: u64,
+}
+
+/// An L2-side waiter: which SM asked for the line (one reply each).
+#[derive(Debug, Clone, Copy)]
+struct L2Waiter {
+    sm: usize,
+    is_prefetch: bool,
+}
+
+/// One memory partition.
+#[derive(Debug)]
+pub struct MemoryPartition {
+    /// Partition index.
+    pub id: usize,
+    l2: Cache,
+    mshr: MshrFile,
+    /// Waiters per in-flight line, parallel to the MSHR (MSHR stores
+    /// warp-level waiters for L1; at L2 we need SM-level reply routing,
+    /// so we keep our own list keyed through the MSHR entry order).
+    waiters: std::collections::HashMap<u64, Vec<L2Waiter>>,
+    /// Demand/store requests accepted from the interconnect.
+    in_demand: VecDeque<(Cycle, MemRequest)>,
+    /// Prefetch requests accepted from the interconnect (serviced only
+    /// when no demand is waiting — lower priority, §V).
+    in_prefetch: VecDeque<(Cycle, MemRequest)>,
+    input_depth: usize,
+    /// Hit replies delayed by the L2 hit latency.
+    hit_pipe: VecDeque<(Cycle, MemReply)>,
+    /// Demand replies ready to inject into the reply network.
+    pub reply_out: VecDeque<MemReply>,
+    /// Prefetch replies (low-priority virtual channel).
+    pub pf_reply_out: VecDeque<MemReply>,
+    /// Dirty lines evicted from L2, awaiting a DRAM write slot.
+    wb_q: VecDeque<u64>,
+    /// Stats.
+    pub stats: PartitionStats,
+    l2_latency: u32,
+}
+
+impl MemoryPartition {
+    /// Build partition `id` per `cfg`.
+    pub fn new(id: usize, cfg: &GpuConfig) -> Self {
+        MemoryPartition {
+            id,
+            l2: Cache::new(cfg.l2),
+            mshr: MshrFile::new(cfg.l2.mshr_entries as usize, cfg.l2.mshr_merge as usize),
+            waiters: std::collections::HashMap::new(),
+            in_demand: VecDeque::new(),
+            in_prefetch: VecDeque::new(),
+            input_depth: cfg.icnt_queue_depth,
+            hit_pipe: VecDeque::new(),
+            reply_out: VecDeque::new(),
+            pf_reply_out: VecDeque::new(),
+            wb_q: VecDeque::new(),
+            stats: PartitionStats::default(),
+            l2_latency: cfg.l2.hit_latency,
+        }
+    }
+
+    /// Whether the partition can accept a request of `kind` this cycle.
+    /// The two priority classes have independent input queues so backed-up
+    /// prefetches cannot block demand acceptance.
+    #[inline]
+    pub fn can_accept(&self, kind: AccessKind) -> bool {
+        if kind.is_prefetch() {
+            self.in_prefetch.len() < self.input_depth
+        } else {
+            self.in_demand.len() < self.input_depth
+        }
+    }
+
+    /// Hand a request to the partition (from the interconnect ejection).
+    pub fn accept(&mut self, now: Cycle, req: MemRequest) {
+        debug_assert!(self.can_accept(req.kind));
+        if req.kind.is_prefetch() {
+            self.in_prefetch.push_back((now, req));
+        } else {
+            self.in_demand.push_back((now, req));
+        }
+    }
+
+    fn pop_input(&mut self, from_demand: bool) {
+        let q = if from_demand {
+            &mut self.in_demand
+        } else {
+            &mut self.in_prefetch
+        };
+        q.pop_front();
+    }
+
+    /// Whether every queue in the partition is empty (drain check).
+    pub fn idle(&self) -> bool {
+        self.in_demand.is_empty()
+            && self.in_prefetch.is_empty()
+            && self.hit_pipe.is_empty()
+            && self.reply_out.is_empty()
+            && self.pf_reply_out.is_empty()
+            && self.mshr.is_empty()
+            && self.wb_q.is_empty()
+    }
+
+    /// Service up to one input request, drain the hit pipe, and process
+    /// DRAM completions destined for this partition.
+    pub fn step(&mut self, now: Cycle, dram: &mut DramChannel, dram_done: &[DramRequest]) {
+        // DRAM fills for this partition → L2 fill + replies.
+        for req in dram_done.iter().filter(|r| r.partition == self.id) {
+            debug_assert!(!req.is_write);
+            let entry = self.mshr.complete(req.line);
+            let out = self.l2.fill(req.line, None);
+            if let Some(victim) = out.writeback {
+                self.wb_q.push_back(victim);
+            }
+            if let Some(ws) = self.waiters.remove(&req.line) {
+                for w in ws {
+                    let reply = MemReply {
+                        line: req.line,
+                        sm: w.sm,
+                        is_prefetch: w.is_prefetch,
+                    };
+                    if w.is_prefetch {
+                        self.pf_reply_out.push_back(reply);
+                    } else {
+                        self.reply_out.push_back(reply);
+                    }
+                }
+            }
+            debug_assert!(entry.line == req.line);
+        }
+
+        // Drain pending write-backs opportunistically (lowest priority
+        // at the DRAM queue, batched into row hits by FR-FCFS).
+        while !self.wb_q.is_empty() && dram.can_accept() {
+            let line = self.wb_q.pop_front().expect("checked non-empty");
+            dram.push(DramRequest {
+                line,
+                is_write: true,
+                is_prefetch: false,
+                partition: self.id,
+                arrival: now,
+            });
+        }
+
+        // Matured L2 hits become replies.
+        while let Some(&(t, r)) = self.hit_pipe.front() {
+            if t > now {
+                break;
+            }
+            self.hit_pipe.pop_front();
+            if r.is_prefetch {
+                self.pf_reply_out.push_back(r);
+            } else {
+                self.reply_out.push_back(r);
+            }
+        }
+
+        // One new request per cycle (L2 bank port); demands first.
+        let from_demand = !self.in_demand.is_empty();
+        let queue = if from_demand {
+            &self.in_demand
+        } else {
+            &self.in_prefetch
+        };
+        let Some(&(_, req)) = queue.front() else {
+            return;
+        };
+        match req.kind {
+            AccessKind::Store => {
+                // Write-back, write-allocate L2: stores coalesce in the
+                // bank; dirty lines reach DRAM only on eviction.
+                self.pop_input(from_demand);
+                if !self.l2.mark_dirty(req.line) {
+                    let out = self.l2.fill_dirty(req.line);
+                    if let Some(victim) = out.writeback {
+                        self.wb_q.push_back(victim);
+                    }
+                }
+            }
+            AccessKind::DemandLoad | AccessKind::Prefetch => {
+                match self.l2.access(req.line) {
+                    Lookup::Hit { .. } => {
+                        self.stats.accesses += 1;
+                        self.stats.hits += 1;
+                        self.pop_input(from_demand);
+                        self.hit_pipe.push_back((
+                            now + self.l2_latency as Cycle,
+                            MemReply {
+                                line: req.line,
+                                sm: req.sm,
+                                is_prefetch: req.kind.is_prefetch(),
+                            },
+                        ));
+                    }
+                    Lookup::Miss => {
+                        // Merge or allocate; allocation also needs DRAM
+                        // queue space or we stall the input head.
+                        if self.mshr.contains(req.line) {
+                            let out = self.mshr.demand_miss(req.line, Waiter { warp: 0 });
+                            match out {
+                                MshrOutcome::Merged { .. } => {
+                                    self.stats.accesses += 1;
+                                    self.stats.misses += 1;
+                                    self.pop_input(from_demand);
+                                    self.waiters.entry(req.line).or_default().push(L2Waiter {
+                                        sm: req.sm,
+                                        is_prefetch: req.kind.is_prefetch(),
+                                    });
+                                }
+                                MshrOutcome::ReservationFail => {
+                                    self.stats.dram_queue_stalls += 1;
+                                    // Merge capacity exhausted: retry.
+                                }
+                                MshrOutcome::Allocated => {
+                                    unreachable!("contains() implies merge")
+                                }
+                            }
+                        } else {
+                            if !dram.can_accept() || self.mshr.free() == 0 {
+                                self.stats.dram_queue_stalls += 1;
+                                return;
+                            }
+                            let out = self.mshr.demand_miss(req.line, Waiter { warp: 0 });
+                            debug_assert_eq!(out, MshrOutcome::Allocated);
+                            self.stats.accesses += 1;
+                            self.stats.misses += 1;
+                            self.pop_input(from_demand);
+                            self.waiters.entry(req.line).or_default().push(L2Waiter {
+                                sm: req.sm,
+                                is_prefetch: req.kind.is_prefetch(),
+                            });
+                            dram.push(DramRequest {
+                                line: req.line,
+                                is_write: false,
+                                is_prefetch: req.kind.is_prefetch(),
+                                partition: self.id,
+                                arrival: now,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (MemoryPartition, DramChannel) {
+        let cfg = GpuConfig::fermi_gtx480();
+        (MemoryPartition::new(0, &cfg), DramChannel::new(&cfg))
+    }
+
+    fn load(line: u64, sm: usize) -> MemRequest {
+        MemRequest {
+            line,
+            kind: AccessKind::DemandLoad,
+            sm,
+        }
+    }
+
+    fn run(
+        p: &mut MemoryPartition,
+        d: &mut DramChannel,
+        from: Cycle,
+        cycles: u64,
+    ) -> Vec<MemReply> {
+        let mut replies = Vec::new();
+        let mut done = Vec::new();
+        for now in from..from + cycles {
+            done.clear();
+            d.step(now, &mut done);
+            p.step(now, d, &done);
+            replies.extend(p.reply_out.drain(..));
+            replies.extend(p.pf_reply_out.drain(..));
+        }
+        replies
+    }
+
+    #[test]
+    fn miss_goes_to_dram_and_replies_once() {
+        let (mut p, mut d) = setup();
+        p.accept(0, load(0x1000, 3));
+        let replies = run(&mut p, &mut d, 0, 500);
+        assert_eq!(replies.len(), 1);
+        assert_eq!(
+            replies[0],
+            MemReply {
+                line: 0x1000,
+                sm: 3,
+                is_prefetch: false
+            }
+        );
+        assert_eq!(p.stats.misses, 1);
+        assert_eq!(d.reads, 1);
+        assert!(p.idle());
+    }
+
+    #[test]
+    fn second_access_hits_in_l2() {
+        let (mut p, mut d) = setup();
+        p.accept(0, load(0x1000, 0));
+        let _ = run(&mut p, &mut d, 0, 500);
+        p.accept(500, load(0x1000, 1));
+        let replies = run(&mut p, &mut d, 500, 100);
+        assert_eq!(replies.len(), 1);
+        assert_eq!(p.stats.hits, 1);
+        assert_eq!(d.reads, 1, "no extra DRAM read on L2 hit");
+    }
+
+    #[test]
+    fn concurrent_misses_to_same_line_merge() {
+        let (mut p, mut d) = setup();
+        p.accept(0, load(0x2000, 0));
+        p.accept(0, load(0x2000, 1));
+        let replies = run(&mut p, &mut d, 0, 500);
+        assert_eq!(replies.len(), 2, "each SM gets its reply");
+        assert_eq!(d.reads, 1, "one DRAM read services both");
+    }
+
+    #[test]
+    fn store_allocates_dirty_without_reply_or_immediate_write() {
+        let (mut p, mut d) = setup();
+        p.accept(
+            0,
+            MemRequest {
+                line: 0x3000,
+                kind: AccessKind::Store,
+                sm: 0,
+            },
+        );
+        let replies = run(&mut p, &mut d, 0, 500);
+        assert!(replies.is_empty());
+        assert_eq!(d.writes, 0, "write-back: DRAM write deferred to eviction");
+        // A subsequent load of the stored line hits in L2.
+        p.accept(500, load(0x3000, 0));
+        let replies = run(&mut p, &mut d, 500, 200);
+        assert_eq!(replies.len(), 1);
+        assert_eq!(p.stats.hits, 1);
+    }
+
+    #[test]
+    fn dirty_eviction_reaches_dram() {
+        let (mut p, mut d) = setup();
+        // Dirty one line, then stream more distinct lines than the L2
+        // holds (64 KiB / 128 B = 512 lines): the dirty victim must be
+        // written back regardless of the hashed set mapping.
+        p.accept(
+            0,
+            MemRequest {
+                line: 0x0,
+                kind: AccessKind::Store,
+                sm: 0,
+            },
+        );
+        let _ = run(&mut p, &mut d, 0, 50);
+        let mut t = 50;
+        for i in 1..=600u64 {
+            p.accept(t, load(i * 128, 0));
+            let _ = run(&mut p, &mut d, t, 300);
+            t += 300;
+        }
+        assert!(d.writes >= 1, "evicted dirty line written to DRAM");
+    }
+
+    #[test]
+    fn input_backpressure_is_visible() {
+        let (mut p, _) = setup();
+        let depth = GpuConfig::fermi_gtx480().icnt_queue_depth;
+        for i in 0..depth {
+            assert!(p.can_accept(AccessKind::DemandLoad));
+            p.accept(0, load(i as u64 * 128, 0));
+        }
+        assert!(!p.can_accept(AccessKind::DemandLoad));
+        // The prefetch class has its own queue: still accepting.
+        assert!(p.can_accept(AccessKind::Prefetch));
+    }
+
+    #[test]
+    fn dram_queue_full_stalls_head() {
+        let (mut p, mut d) = setup();
+        // Saturate the DRAM queue directly.
+        for i in 0..16 {
+            d.push(DramRequest {
+                line: i * 4096,
+                is_write: false,
+                is_prefetch: false,
+                partition: 9,
+                arrival: 0,
+            });
+        }
+        p.accept(0, load(0x8000, 0));
+        // One step with a full queue: the head stalls and records it.
+        p.step(0, &mut d, &[]);
+        assert!(p.stats.dram_queue_stalls > 0);
+        assert_eq!(p.stats.misses, 0);
+    }
+}

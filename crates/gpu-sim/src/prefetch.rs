@@ -1,0 +1,134 @@
+//! Prefetch engine interface.
+//!
+//! A prefetcher is attached per SM (the paper's tables are per-SM/per-CTA
+//! structures). It observes demand loads at the LD/ST unit *before* the
+//! L1 lookup — the point where the paper's PerCTA/DIST tables are read —
+//! and L1 misses (the trigger for next-line-style engines). It emits
+//! [`PrefetchRequest`]s that the SM injects into L1 with lower priority
+//! than demand fetches.
+
+use crate::types::{Addr, CtaCoord, CtaSlot, Cycle, Pc, WarpSlot};
+
+/// Everything a prefetch engine may observe about one warp demand load.
+#[derive(Debug, Clone, Copy)]
+pub struct DemandObservation<'a> {
+    /// Current cycle.
+    pub cycle: Cycle,
+    /// Static PC of the load.
+    pub pc: Pc,
+    /// Hardware CTA slot of the issuing warp.
+    pub cta_slot: CtaSlot,
+    /// Grid coordinates of the issuing warp's CTA.
+    pub cta: CtaCoord,
+    /// Warp index within the CTA.
+    pub warp_in_cta: u32,
+    /// Hardware warp slot (SM-local).
+    pub warp_slot: WarpSlot,
+    /// Warps per CTA for the running kernel.
+    pub warps_per_cta: u32,
+    /// Coalesced line addresses of this warp access (first-touch order).
+    pub lines: &'a [Addr],
+    /// `true` when backward register tracing would classify the address
+    /// as thread-id/CTA-id derived (§V-B "handling indirect accesses").
+    pub is_affine: bool,
+    /// Innermost loop iteration index of the issuing warp.
+    pub iter: u32,
+}
+
+/// A prefetch the engine wants issued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefetchRequest {
+    /// Line to prefetch.
+    pub line: Addr,
+    /// Load PC the prefetch is predicted for.
+    pub pc: Pc,
+    /// Warp the data is destined for (`None` for target-less engines);
+    /// used by PAS's eager wake-up.
+    pub target_warp: Option<WarpSlot>,
+}
+
+/// A per-SM prefetch engine.
+pub trait Prefetcher: Send {
+    /// Display name (matches the paper's legend: INTRA, INTER, MTA, NLP,
+    /// LAP, ORCH, CAPS).
+    fn name(&self) -> &'static str;
+
+    /// A warp issued a demand load. Push generated prefetches to `out`.
+    fn on_demand(&mut self, _obs: &DemandObservation<'_>, _out: &mut Vec<PrefetchRequest>) {}
+
+    /// A demand line request missed in L1 (next-line-family trigger).
+    fn on_l1_miss(&mut self, _cycle: Cycle, _line: Addr, _out: &mut Vec<PrefetchRequest>) {}
+
+    /// A CTA was launched into `cta_slot` (reset per-CTA state).
+    fn on_cta_launch(&mut self, _cta_slot: CtaSlot, _cta: CtaCoord) {}
+
+    /// The CTA in `cta_slot` completed (free per-CTA state).
+    fn on_cta_complete(&mut self, _cta_slot: CtaSlot) {}
+
+    /// Metadata-table accesses so far (energy model input).
+    fn table_accesses(&self) -> u64 {
+        0
+    }
+
+    /// Address-verification mispredictions so far.
+    fn mispredicts(&self) -> u64 {
+        0
+    }
+}
+
+/// The no-prefetch baseline.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullPrefetcher;
+
+impl Prefetcher for NullPrefetcher {
+    fn name(&self) -> &'static str {
+        "NONE"
+    }
+}
+
+/// Factory that builds one engine per SM.
+pub type PrefetcherFactory = dyn Fn(usize) -> Box<dyn Prefetcher> + Send + Sync;
+
+/// Convenience: a boxed factory for [`NullPrefetcher`].
+pub fn null_factory() -> Box<PrefetcherFactory> {
+    Box::new(|_| Box::new(NullPrefetcher))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_prefetcher_is_inert() {
+        let mut p = NullPrefetcher;
+        let mut out = Vec::new();
+        let obs = DemandObservation {
+            cycle: 0,
+            pc: 0,
+            cta_slot: 0,
+            cta: CtaCoord {
+                x: 0,
+                y: 0,
+                linear: 0,
+            },
+            warp_in_cta: 0,
+            warp_slot: 0,
+            warps_per_cta: 4,
+            lines: &[0],
+            is_affine: true,
+            iter: 0,
+        };
+        p.on_demand(&obs, &mut out);
+        p.on_l1_miss(0, 0, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(p.table_accesses(), 0);
+        assert_eq!(p.name(), "NONE");
+    }
+
+    #[test]
+    fn factory_builds_per_sm() {
+        let f = null_factory();
+        assert_eq!(f(0).name(), "NONE");
+        assert_eq!(f(7).name(), "NONE");
+    }
+}

@@ -1,0 +1,297 @@
+//! Warp schedulers.
+//!
+//! The baseline for the whole evaluation is the two-level scheduler
+//! (Narasiman et al., MICRO'11; Gebhart et al., ISCA'11) with an 8-entry
+//! ready queue (Table III). [`two_level::TwoLevelScheduler`] implements it
+//! together with the two policy extensions the paper builds on it:
+//! leading-warp prioritization and eager prefetch wake-up (PAS, §V-A) and
+//! ORCH-style group-interleaved promotion (Jog et al., ISCA'13).
+
+mod two_level;
+
+pub use two_level::TwoLevelScheduler;
+
+use crate::config::{GpuConfig, SchedulerKind};
+use crate::types::{Cycle, WarpSlot};
+
+/// Scheduling policy interface driven by the SM each cycle.
+///
+/// The SM notifies the scheduler of warp lifecycle events and asks it to
+/// `pick` one issuable warp per issue slot. `can_issue` reflects
+/// microarchitectural readiness (not busy, not at a barrier, LD/ST queue
+/// space for memory ops).
+pub trait WarpScheduler: Send {
+    /// Display name.
+    fn name(&self) -> &'static str;
+    /// A warp was launched into slot `w`. `leading` marks the CTA's
+    /// leading warp; `group` is the warp's scheduling-group hint
+    /// (used by ORCH-style grouping).
+    fn on_launch(&mut self, w: WarpSlot, leading: bool, group: u8);
+    /// Warp `w` finished its program.
+    fn on_finish(&mut self, w: WarpSlot);
+    /// Warp `w` hit a long-latency dependence (descheduled).
+    fn on_long_latency(&mut self, w: WarpSlot);
+    /// Warp `w`'s outstanding loads all returned (re-schedulable).
+    fn on_ready_again(&mut self, w: WarpSlot);
+    /// Prefetched data bound to warp `w` arrived (PAS eager wake-up).
+    /// Returns `true` if the scheduler actually promoted the warp.
+    fn on_prefetch_fill(&mut self, _w: WarpSlot) -> bool {
+        false
+    }
+    /// Leading warp `w` has served its purpose (issued its first load,
+    /// registering the CTA's base addresses): drop its priority so it no
+    /// longer runs ahead of its CTA (§V-A: leading warps are prioritized
+    /// "until they compute the base address").
+    fn on_leading_done(&mut self, _w: WarpSlot) {}
+    /// Choose one warp to issue at `now`.
+    fn pick(&mut self, now: Cycle, can_issue: &mut dyn FnMut(WarpSlot) -> bool)
+        -> Option<WarpSlot>;
+}
+
+/// Loose round-robin over all resident warps.
+#[derive(Debug, Default)]
+pub struct LrrScheduler {
+    warps: Vec<WarpSlot>,
+    cursor: usize,
+}
+
+impl WarpScheduler for LrrScheduler {
+    fn name(&self) -> &'static str {
+        "LRR"
+    }
+
+    fn on_launch(&mut self, w: WarpSlot, _leading: bool, _group: u8) {
+        self.warps.push(w);
+    }
+
+    fn on_finish(&mut self, w: WarpSlot) {
+        if let Some(i) = self.warps.iter().position(|&x| x == w) {
+            self.warps.remove(i);
+            if self.cursor > i {
+                self.cursor -= 1;
+            }
+        }
+    }
+
+    fn on_long_latency(&mut self, _w: WarpSlot) {}
+
+    fn on_ready_again(&mut self, _w: WarpSlot) {}
+
+    fn pick(
+        &mut self,
+        _now: Cycle,
+        can_issue: &mut dyn FnMut(WarpSlot) -> bool,
+    ) -> Option<WarpSlot> {
+        if self.warps.is_empty() {
+            return None;
+        }
+        let n = self.warps.len();
+        for off in 0..n {
+            let idx = (self.cursor + off) % n;
+            let w = self.warps[idx];
+            if can_issue(w) {
+                self.cursor = (idx + 1) % n;
+                return Some(w);
+            }
+        }
+        None
+    }
+}
+
+/// Greedy-then-oldest: keep issuing the current warp until it cannot
+/// issue, then fall back to the oldest (launch-order) issuable warp.
+/// With `pas` set, leading warps are greedily scheduled first "until
+/// they compute the base address" (§V-A's GTO adaptation of PAS).
+#[derive(Debug, Default)]
+pub struct GtoScheduler {
+    warps: Vec<WarpSlot>, // launch order
+    current: Option<WarpSlot>,
+    pas: bool,
+    leading: Vec<WarpSlot>,
+}
+
+impl GtoScheduler {
+    /// Plain GTO.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The PAS variant: leading warps preempt the greedy pick until
+    /// their base addresses are registered.
+    pub fn with_leading_priority() -> Self {
+        GtoScheduler {
+            pas: true,
+            ..Self::default()
+        }
+    }
+}
+
+impl WarpScheduler for GtoScheduler {
+    fn name(&self) -> &'static str {
+        if self.pas {
+            "PA-GTO"
+        } else {
+            "GTO"
+        }
+    }
+
+    fn on_launch(&mut self, w: WarpSlot, leading: bool, _group: u8) {
+        self.warps.push(w);
+        if self.pas && leading {
+            self.leading.push(w);
+        }
+    }
+
+    fn on_finish(&mut self, w: WarpSlot) {
+        self.warps.retain(|&x| x != w);
+        self.leading.retain(|&x| x != w);
+        if self.current == Some(w) {
+            self.current = None;
+        }
+    }
+
+    fn on_long_latency(&mut self, w: WarpSlot) {
+        if self.current == Some(w) {
+            self.current = None;
+        }
+    }
+
+    fn on_ready_again(&mut self, _w: WarpSlot) {}
+
+    fn on_leading_done(&mut self, w: WarpSlot) {
+        self.leading.retain(|&x| x != w);
+    }
+
+    fn pick(
+        &mut self,
+        _now: Cycle,
+        can_issue: &mut dyn FnMut(WarpSlot) -> bool,
+    ) -> Option<WarpSlot> {
+        // Leading warps that have not yet computed their CTA's base
+        // address jump the greedy order (§V-A).
+        if self.pas {
+            if let Some(&w) = self.leading.iter().find(|&&w| can_issue(w)) {
+                return Some(w);
+            }
+        }
+        if let Some(c) = self.current {
+            if can_issue(c) {
+                return Some(c);
+            }
+        }
+        for &w in &self.warps {
+            if can_issue(w) {
+                self.current = Some(w);
+                return Some(w);
+            }
+        }
+        None
+    }
+}
+
+/// Build the scheduler selected by `cfg`.
+pub fn make_scheduler(cfg: &GpuConfig) -> Box<dyn WarpScheduler> {
+    match cfg.scheduler {
+        SchedulerKind::Lrr => Box::new(LrrScheduler::default()),
+        SchedulerKind::Gto => Box::new(GtoScheduler::new()),
+        SchedulerKind::PasGto => Box::new(GtoScheduler::with_leading_priority()),
+        SchedulerKind::TwoLevel => {
+            Box::new(TwoLevelScheduler::new(cfg.ready_queue_size, false, false))
+        }
+        SchedulerKind::Pas => Box::new(TwoLevelScheduler::new(cfg.ready_queue_size, true, false)),
+        SchedulerKind::PasNoWakeup => {
+            Box::new(TwoLevelScheduler::without_wakeup(cfg.ready_queue_size))
+        }
+        SchedulerKind::OrchGrouped => {
+            Box::new(TwoLevelScheduler::new(cfg.ready_queue_size, false, true))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lrr_rotates() {
+        let mut s = LrrScheduler::default();
+        for w in 0..3 {
+            s.on_launch(w, false, 0);
+        }
+        let mut all = |_: WarpSlot| true;
+        assert_eq!(s.pick(0, &mut all), Some(0));
+        assert_eq!(s.pick(0, &mut all), Some(1));
+        assert_eq!(s.pick(0, &mut all), Some(2));
+        assert_eq!(s.pick(0, &mut all), Some(0));
+    }
+
+    #[test]
+    fn lrr_skips_unissuable() {
+        let mut s = LrrScheduler::default();
+        for w in 0..3 {
+            s.on_launch(w, false, 0);
+        }
+        let mut only_2 = |w: WarpSlot| w == 2;
+        assert_eq!(s.pick(0, &mut only_2), Some(2));
+        assert_eq!(s.pick(0, &mut only_2), Some(2));
+    }
+
+    #[test]
+    fn lrr_finish_keeps_rotation_sane() {
+        let mut s = LrrScheduler::default();
+        for w in 0..3 {
+            s.on_launch(w, false, 0);
+        }
+        let mut all = |_: WarpSlot| true;
+        assert_eq!(s.pick(0, &mut all), Some(0));
+        s.on_finish(0);
+        assert_eq!(s.pick(0, &mut all), Some(1));
+        assert_eq!(s.pick(0, &mut all), Some(2));
+        assert_eq!(s.pick(0, &mut all), Some(1));
+    }
+
+    #[test]
+    fn gto_sticks_with_current() {
+        let mut s = GtoScheduler::default();
+        for w in 0..3 {
+            s.on_launch(w, false, 0);
+        }
+        let mut all = |_: WarpSlot| true;
+        assert_eq!(s.pick(0, &mut all), Some(0));
+        assert_eq!(s.pick(0, &mut all), Some(0));
+        s.on_long_latency(0);
+        let mut not_0 = |w: WarpSlot| w != 0;
+        assert_eq!(s.pick(0, &mut not_0), Some(1));
+        assert_eq!(s.pick(0, &mut not_0), Some(1));
+    }
+
+    #[test]
+    fn gto_falls_back_to_oldest() {
+        let mut s = GtoScheduler::default();
+        for w in 0..3 {
+            s.on_launch(w, false, 0);
+        }
+        let mut only_2 = |w: WarpSlot| w == 2;
+        assert_eq!(s.pick(0, &mut only_2), Some(2));
+        let mut all = |_: WarpSlot| true;
+        // Greedy: stays on 2 even though 0 is older.
+        assert_eq!(s.pick(0, &mut all), Some(2));
+    }
+
+    #[test]
+    fn factory_builds_all_kinds() {
+        for kind in [
+            SchedulerKind::Lrr,
+            SchedulerKind::Gto,
+            SchedulerKind::TwoLevel,
+            SchedulerKind::Pas,
+            SchedulerKind::PasNoWakeup,
+            SchedulerKind::OrchGrouped,
+        ] {
+            let mut cfg = GpuConfig::fermi_gtx480();
+            cfg.scheduler = kind;
+            let s = make_scheduler(&cfg);
+            assert!(!s.name().is_empty());
+        }
+    }
+}

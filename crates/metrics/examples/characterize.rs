@@ -1,0 +1,50 @@
+//! Diagnostic: per-benchmark baseline characterization (cycles, IPC,
+//! stall fraction, miss rates, DRAM utilization) side by side with the
+//! CAPS result — the table used to calibrate the workload suite.
+//!
+//! ```text
+//! cargo run --release -p caps-metrics --example characterize
+//! ```
+
+use caps_metrics::{run_one, Engine, RunSpec};
+use caps_workloads::all_workloads;
+
+fn main() {
+    println!(
+        "{:<5} {:>9} {:>6} {:>6} {:>6} {:>6} {:>6}  | CAPS: {:>6} {:>6} {:>6} {:>6} {:>6}",
+        "bench",
+        "cycles",
+        "ipc/sm",
+        "stallF",
+        "l1miss",
+        "l2hit",
+        "dramU",
+        "spd",
+        "cov",
+        "acc",
+        "dist",
+        "early"
+    );
+    for w in all_workloads() {
+        let b = run_one(&RunSpec::paper(w, Engine::Baseline));
+        let s = &b.stats;
+        let n = 15.0 * s.cycles as f64;
+        let c = run_one(&RunSpec::paper(w, Engine::Caps));
+        let cs = &c.stats;
+        println!(
+            "{:<5} {:>9} {:>6.3} {:>6.2} {:>6.2} {:>6.2} {:>6.2}  |      {:>6.3} {:>6.3} {:>6.2} {:>6.0} {:>6.3}",
+            b.workload,
+            s.cycles,
+            s.warp_instructions as f64 / n,
+            s.stall_cycles as f64 / n,
+            s.l1d_miss_rate(),
+            s.l2_hits as f64 / s.l2_accesses.max(1) as f64,
+            (s.dram_reads + s.dram_writes) as f64 * 7.0 / (s.cycles as f64 * 6.0),
+            s.cycles as f64 / cs.cycles as f64,
+            cs.coverage(),
+            cs.accuracy(),
+            cs.mean_prefetch_distance(),
+            cs.early_prefetch_ratio()
+        );
+    }
+}

@@ -1,0 +1,184 @@
+//! GPUWattch-style activity-based energy model (Fig. 15).
+//!
+//! The paper estimates GPU energy with GPUWattch \[32\] and adds CAPS's
+//! table costs from RTL synthesis + CACTI (§V-D): 15.07 pJ per table
+//! access and 550 µW static per SM. We reproduce the same first-order
+//! computation: per-event dynamic energies × activity counts, plus
+//! static power × runtime. The absolute per-event constants are
+//! GPUWattch-magnitude estimates for a 40/45 nm Fermi-class part; the
+//! figure reports energy *normalized to the baseline*, so only relative
+//! magnitudes matter.
+
+use caps_core::hardware::{CAPS_ENERGY_PER_ACCESS_PJ, CAPS_STATIC_POWER_UW};
+use caps_gpu_sim::stats::Stats;
+use serde::{Deserialize, Serialize};
+
+/// Per-event dynamic energies (nJ) and static power (W).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Energy per warp instruction (32 lanes of decode+execute), nJ.
+    pub inst_nj: f64,
+    /// Energy per L1/shared access, nJ.
+    pub l1_nj: f64,
+    /// Energy per L2 access, nJ.
+    pub l2_nj: f64,
+    /// Energy per DRAM line transfer, nJ.
+    pub dram_nj: f64,
+    /// Energy per interconnect traversal, nJ.
+    pub icnt_nj: f64,
+    /// Whole-GPU static (leakage + constant clocking) power, W.
+    pub static_w: f64,
+    /// Core clock, Hz.
+    pub clock_hz: f64,
+    /// Number of SMs (scales the CAPS static adder).
+    pub num_sms: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        // GPUWattch-magnitude constants for a Fermi-class part, scaled
+        // so that at this simulator's typical activity density the
+        // static share lands near 40% — the regime in which Fig. 15's
+        // 2% saving emerges from an 8% cycle reduction.
+        EnergyModel {
+            inst_nj: 1.9,
+            l1_nj: 0.6,
+            l2_nj: 1.1,
+            dram_nj: 16.0,
+            icnt_nj: 1.3,
+            static_w: 13.0,
+            clock_hz: 1.4e9,
+            num_sms: 15.0,
+        }
+    }
+}
+
+/// Energy breakdown of one run, in millijoules.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Core dynamic (instruction) energy.
+    pub core_mj: f64,
+    /// L1 dynamic energy.
+    pub l1_mj: f64,
+    /// L2 dynamic energy.
+    pub l2_mj: f64,
+    /// DRAM dynamic energy.
+    pub dram_mj: f64,
+    /// Interconnect dynamic energy.
+    pub icnt_mj: f64,
+    /// Static energy (power × runtime).
+    pub static_mj: f64,
+    /// CAPS table energy (dynamic + static), zero without CAP.
+    pub caps_mj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in millijoules.
+    pub fn total_mj(&self) -> f64 {
+        self.core_mj
+            + self.l1_mj
+            + self.l2_mj
+            + self.dram_mj
+            + self.icnt_mj
+            + self.static_mj
+            + self.caps_mj
+    }
+}
+
+impl EnergyModel {
+    /// Evaluate the model on a run's statistics. `with_cap_tables` adds
+    /// the CAPS hardware costs (§V-D).
+    pub fn evaluate(&self, stats: &Stats, with_cap_tables: bool) -> EnergyBreakdown {
+        let nj = 1e-6; // nJ → mJ
+        let seconds = stats.cycles as f64 / self.clock_hz;
+        let l1_events = stats.l1d_demand_accesses + stats.store_accesses + stats.prefetch_issued;
+        let mut b = EnergyBreakdown {
+            core_mj: stats.warp_instructions as f64 * self.inst_nj * nj,
+            l1_mj: l1_events as f64 * self.l1_nj * nj,
+            l2_mj: stats.l2_accesses as f64 * self.l2_nj * nj,
+            dram_mj: (stats.dram_reads + stats.dram_writes) as f64 * self.dram_nj * nj,
+            icnt_mj: (stats.icnt_requests + stats.icnt_replies) as f64 * self.icnt_nj * nj,
+            static_mj: self.static_w * seconds * 1e3,
+            caps_mj: 0.0,
+        };
+        if with_cap_tables {
+            let dynamic = stats.prefetch_table_accesses as f64 * CAPS_ENERGY_PER_ACCESS_PJ * 1e-9;
+            let static_ = CAPS_STATIC_POWER_UW * 1e-6 * self.num_sms * seconds * 1e3;
+            b.caps_mj = dynamic + static_;
+        }
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> Stats {
+        // Activity density representative of a full 15-SM run
+        // (~4 warp-instructions and ~1.5 L1 accesses per GPU cycle).
+        Stats {
+            cycles: 1_400_000, // 1 ms at 1.4 GHz
+            warp_instructions: 5_500_000,
+            l1d_demand_accesses: 2_000_000,
+            store_accesses: 200_000,
+            l2_accesses: 800_000,
+            dram_reads: 400_000,
+            dram_writes: 100_000,
+            icnt_requests: 1_000_000,
+            icnt_replies: 900_000,
+            prefetch_issued: 300_000,
+            prefetch_table_accesses: 4_000_000,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let m = EnergyModel::default();
+        let b = m.evaluate(&stats(), true);
+        let manual =
+            b.core_mj + b.l1_mj + b.l2_mj + b.dram_mj + b.icnt_mj + b.static_mj + b.caps_mj;
+        assert!((b.total_mj() - manual).abs() < 1e-12);
+        assert!(b.total_mj() > 0.0);
+    }
+
+    #[test]
+    fn static_energy_scales_with_cycles() {
+        let m = EnergyModel::default();
+        let mut s = stats();
+        let e1 = m.evaluate(&s, false).static_mj;
+        s.cycles *= 2;
+        let e2 = m.evaluate(&s, false).static_mj;
+        assert!((e2 / e1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cap_tables_add_little_energy() {
+        // §V-D: the tables must be a tiny fraction of total energy.
+        let m = EnergyModel::default();
+        let b = m.evaluate(&stats(), true);
+        assert!(b.caps_mj > 0.0);
+        assert!(b.caps_mj / b.total_mj() < 0.01, "CAPS adder must be <1%");
+    }
+
+    #[test]
+    fn fewer_cycles_mean_less_energy_despite_tables() {
+        // The Fig. 15 mechanism: an 8% faster run saves static energy
+        // that dwarfs the table adder.
+        let m = EnergyModel::default();
+        let base = m.evaluate(&stats(), false);
+        let mut faster = stats();
+        faster.cycles = (faster.cycles as f64 * 0.92) as u64;
+        let caps = m.evaluate(&faster, true);
+        assert!(caps.total_mj() < base.total_mj());
+    }
+
+    #[test]
+    fn static_share_is_plausible_for_fermi() {
+        let m = EnergyModel::default();
+        let b = m.evaluate(&stats(), false);
+        let share = b.static_mj / b.total_mj();
+        assert!(share > 0.2 && share < 0.7, "static share {share}");
+    }
+}

@@ -1,0 +1,67 @@
+//! Result serialization: run records round-trip through JSON so figure
+//! data can be archived, diffed, and post-processed outside Rust.
+
+use std::io::Write as _;
+use std::path::Path;
+
+use crate::harness::RunRecord;
+
+/// Serialize records to a JSON string (pretty-printed, stable field
+/// order via serde).
+pub fn to_json(records: &[RunRecord]) -> String {
+    serde_json::to_string_pretty(records).expect("run records always serialize")
+}
+
+/// Parse records back from JSON.
+pub fn from_json(s: &str) -> Result<Vec<RunRecord>, serde_json::Error> {
+    serde_json::from_str(s)
+}
+
+/// Write records to `path` as JSON.
+pub fn save(records: &[RunRecord], path: &Path) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(to_json(records).as_bytes())
+}
+
+/// Load records from `path`.
+pub fn load(path: &Path) -> std::io::Result<Vec<RunRecord>> {
+    let s = std::fs::read_to_string(path)?;
+    from_json(&s).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use crate::harness::{run_one, RunSpec};
+    use caps_workloads::Workload;
+
+    #[test]
+    fn records_round_trip_through_json() {
+        let r = run_one(&RunSpec::small(Workload::Scn, Engine::Caps));
+        let json = to_json(std::slice::from_ref(&r));
+        let back = from_json(&json).expect("parses");
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].workload, r.workload);
+        assert_eq!(back[0].engine, r.engine);
+        assert_eq!(back[0].stats, r.stats);
+        assert!((back[0].energy.total_mj() - r.energy.total_mj()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn save_and_load_files() {
+        let r = run_one(&RunSpec::small(Workload::Scn, Engine::Baseline));
+        let dir = std::env::temp_dir().join("caps-export-test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("records.json");
+        save(&[r.clone()], &path).expect("save");
+        let back = load(&path).expect("load");
+        assert_eq!(back[0].stats, r.stats);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(from_json("{not json").is_err());
+    }
+}

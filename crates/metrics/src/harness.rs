@@ -1,0 +1,181 @@
+//! Parallel experiment harness.
+//!
+//! One simulation is strictly single-threaded (cycle accuracy), but the
+//! evaluation matrix — engines × benchmarks × configuration sweeps — is
+//! embarrassingly parallel. The harness fans runs out over crossbeam
+//! scoped threads with a work-stealing index, keeping results
+//! order-stable and every run deterministic.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use caps_gpu_sim::config::GpuConfig;
+use caps_gpu_sim::gpu::Gpu;
+use caps_gpu_sim::stats::Stats;
+use caps_workloads::{Scale, Workload};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::energy::{EnergyBreakdown, EnergyModel};
+use crate::engine::Engine;
+
+/// One cell of the evaluation matrix.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// Benchmark.
+    pub workload: Workload,
+    /// Prefetcher×scheduler configuration.
+    pub engine: Engine,
+    /// Base GPU configuration (the engine overrides the scheduler).
+    pub base_config: GpuConfig,
+    /// Kernel scale.
+    pub scale: Scale,
+}
+
+impl RunSpec {
+    /// Paper-default run: Fermi base config at full scale.
+    pub fn paper(workload: Workload, engine: Engine) -> Self {
+        RunSpec {
+            workload,
+            engine,
+            base_config: GpuConfig::fermi_gtx480(),
+            scale: Scale::Full,
+        }
+    }
+
+    /// Fast run for tests.
+    pub fn small(workload: Workload, engine: Engine) -> Self {
+        RunSpec {
+            workload,
+            engine,
+            base_config: GpuConfig::fermi_gtx480(),
+            scale: Scale::Small,
+        }
+    }
+}
+
+/// The outcome of one run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// Benchmark abbreviation.
+    pub workload: String,
+    /// Engine label.
+    pub engine: String,
+    /// Raw statistics.
+    pub stats: Stats,
+    /// Energy breakdown under the default model.
+    pub energy: EnergyBreakdown,
+}
+
+impl RunRecord {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        self.stats.ipc()
+    }
+}
+
+/// Execute one spec (blocking).
+pub fn run_one(spec: &RunSpec) -> RunRecord {
+    let kernel = spec.workload.kernel(spec.scale);
+    let cfg = spec.engine.configure(&spec.base_config);
+    let factory = spec.engine.factory();
+    let mut gpu = Gpu::new(cfg, kernel, &*factory);
+    let launches = match spec.scale {
+        Scale::Full => spec.workload.launches(),
+        Scale::Small => 1,
+    };
+    let stats = gpu.run_launches(launches, caps_gpu_sim::gpu::DEFAULT_MAX_CYCLES);
+    let energy = EnergyModel::default().evaluate(&stats, spec.engine.uses_cap_tables());
+    RunRecord {
+        workload: spec.workload.abbr().to_string(),
+        engine: spec.engine.label().to_string(),
+        stats,
+        energy,
+    }
+}
+
+/// Execute a matrix of specs in parallel; results are index-aligned with
+/// the input order regardless of completion order.
+pub fn run_matrix(specs: &[RunSpec]) -> Vec<RunRecord> {
+    run_matrix_with_threads(specs, default_threads())
+}
+
+/// Parallel runner with an explicit worker count.
+pub fn run_matrix_with_threads(specs: &[RunSpec], threads: usize) -> Vec<RunRecord> {
+    if specs.is_empty() {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, specs.len());
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<RunRecord>>> = specs.iter().map(|_| Mutex::new(None)).collect();
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= specs.len() {
+                    break;
+                }
+                let record = run_one(&specs[i]);
+                *results[i].lock() = Some(record);
+            });
+        }
+    })
+    .expect("harness worker panicked");
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("every spec produced a record"))
+        .collect()
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_one_produces_consistent_record() {
+        let r = run_one(&RunSpec::small(Workload::Jc1, Engine::Baseline));
+        assert_eq!(r.workload, "JC1");
+        assert_eq!(r.engine, "BASE");
+        assert!(r.stats.cycles > 0);
+        assert!(r.ipc() > 0.0);
+        assert_eq!(r.stats.prefetch_issued, 0);
+    }
+
+    #[test]
+    fn matrix_results_are_input_ordered_and_deterministic() {
+        let specs = vec![
+            RunSpec::small(Workload::Jc1, Engine::Baseline),
+            RunSpec::small(Workload::Mm, Engine::Caps),
+            RunSpec::small(Workload::Jc1, Engine::Baseline),
+        ];
+        let a = run_matrix_with_threads(&specs, 3);
+        assert_eq!(a[0].workload, "JC1");
+        assert_eq!(a[1].workload, "MM");
+        assert_eq!(a[1].engine, "CAPS");
+        // Same spec → identical stats, and parallel == serial.
+        assert_eq!(a[0].stats, a[2].stats);
+        let b = run_matrix_with_threads(&specs, 1);
+        assert_eq!(a[0].stats, b[0].stats);
+        assert_eq!(a[1].stats, b[1].stats);
+    }
+
+    #[test]
+    fn pas_gto_configuration_runs() {
+        let r = run_one(&RunSpec::small(Workload::Jc1, Engine::CapsOnPasGto));
+        assert_eq!(r.engine, "CAPS@GTO");
+        assert!(r.stats.ctas_completed > 0);
+        assert!(r.stats.prefetch_issued > 0, "CAP engine active on PA-GTO");
+    }
+
+    #[test]
+    fn caps_runs_issue_prefetches_on_stride_kernels() {
+        let r = run_one(&RunSpec::small(Workload::Cnv, Engine::Caps));
+        assert!(r.stats.prefetch_issued > 0, "CAPS must prefetch on CNV");
+        assert!(r.energy.caps_mj > 0.0);
+    }
+}

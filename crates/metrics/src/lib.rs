@@ -1,0 +1,28 @@
+//! # caps-metrics — experiment harness, energy model, and reporting
+//!
+//! Ties the simulator, the CAPS implementation, the baseline prefetchers
+//! and the workload suite together into the paper's evaluation matrix:
+//!
+//! * [`engine::Engine`] — the prefetcher×scheduler configurations of
+//!   Fig. 10–15 (plus the Fig. 1/14 probes and ablations);
+//! * [`harness`] — a crossbeam-parallel, deterministic, order-stable
+//!   sweep runner;
+//! * [`energy`] — the GPUWattch-style activity×energy model with the
+//!   paper's CAPS table costs;
+//! * [`report`] — ASCII renderers for the figure regenerators.
+
+#![warn(missing_docs)]
+
+pub mod energy;
+pub mod engine;
+pub mod export;
+pub mod harness;
+pub mod report;
+pub mod sweep;
+
+pub use energy::{EnergyBreakdown, EnergyModel};
+pub use engine::Engine;
+pub use export::{from_json, load, save, to_json};
+pub use harness::{run_matrix, run_matrix_with_threads, run_one, RunRecord, RunSpec};
+pub use report::{f3, geomean, mean, pct, Table};
+pub use sweep::{standard_axes, sweep, SweepPoint, SweepResult};

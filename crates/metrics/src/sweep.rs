@@ -1,0 +1,167 @@
+//! Parameter-sensitivity sweeps.
+//!
+//! The paper fixes Table III and sweeps only the concurrent-CTA count
+//! (Fig. 11). For a library release the natural follow-up questions are
+//! "how sensitive is the CAPS benefit to the cache budget, the MSHR
+//! count, the ready-queue size, the prefetch-queue depth?" — this module
+//! answers them with one generic sweep primitive.
+
+use caps_gpu_sim::config::GpuConfig;
+use caps_workloads::{Scale, Workload};
+use serde::{Deserialize, Serialize};
+
+use crate::engine::Engine;
+use crate::harness::{run_matrix, RunSpec};
+use crate::report::mean;
+
+/// One swept parameter point: label plus the config it produces.
+pub struct SweepPoint {
+    /// Axis label, e.g. `"l1=32KB"`.
+    pub label: String,
+    /// The configuration at this point.
+    pub config: GpuConfig,
+}
+
+/// The result of a sweep: per point, the mean baseline-normalized IPC of
+/// the swept engine across the workload set.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepResult {
+    /// Which knob was swept.
+    pub axis: String,
+    /// Point labels.
+    pub labels: Vec<String>,
+    /// Mean CAPS speedup at each point (engine IPC / baseline IPC,
+    /// both at that point's configuration).
+    pub speedup: Vec<f64>,
+}
+
+/// Run `engine` and the baseline at every point, over `workloads`.
+pub fn sweep(
+    axis: &str,
+    points: Vec<SweepPoint>,
+    workloads: &[Workload],
+    engine: Engine,
+    scale: Scale,
+) -> SweepResult {
+    let mut specs = Vec::new();
+    for p in &points {
+        for &w in workloads {
+            for e in [Engine::Baseline, engine] {
+                let mut s = RunSpec::paper(w, e);
+                s.scale = scale;
+                s.base_config = p.config.clone();
+                specs.push(s);
+            }
+        }
+    }
+    let recs = run_matrix(&specs);
+    let per_point = workloads.len() * 2;
+    let mut speedup = Vec::new();
+    for (pi, _) in points.iter().enumerate() {
+        let vals: Vec<f64> = (0..workloads.len())
+            .map(|wi| {
+                let base = recs[pi * per_point + wi * 2].ipc();
+                let eng = recs[pi * per_point + wi * 2 + 1].ipc();
+                eng / base
+            })
+            .collect();
+        speedup.push(mean(&vals));
+    }
+    SweepResult {
+        axis: axis.to_string(),
+        labels: points.into_iter().map(|p| p.label).collect(),
+        speedup,
+    }
+}
+
+/// The four standard sensitivity axes, centred on Table III.
+pub fn standard_axes() -> Vec<(String, Vec<SweepPoint>)> {
+    let base = GpuConfig::fermi_gtx480;
+    let mut axes = Vec::new();
+
+    let l1: Vec<SweepPoint> = [8u32, 16, 32, 64]
+        .iter()
+        .map(|&kb| {
+            let mut c = base();
+            c.l1d.size_bytes = kb * 1024;
+            SweepPoint {
+                label: format!("{kb}KB"),
+                config: c,
+            }
+        })
+        .collect();
+    axes.push(("L1D size".to_string(), l1));
+
+    let mshr: Vec<SweepPoint> = [8u32, 16, 32, 64]
+        .iter()
+        .map(|&n| {
+            let mut c = base();
+            c.l1d.mshr_entries = n;
+            SweepPoint {
+                label: format!("{n}"),
+                config: c,
+            }
+        })
+        .collect();
+    axes.push(("L1 MSHR entries".to_string(), mshr));
+
+    let rq: Vec<SweepPoint> = [4usize, 8, 16]
+        .iter()
+        .map(|&n| {
+            let mut c = base();
+            c.ready_queue_size = n;
+            SweepPoint {
+                label: format!("{n}"),
+                config: c,
+            }
+        })
+        .collect();
+    axes.push(("ready-queue size".to_string(), rq));
+
+    let pfq: Vec<SweepPoint> = [16usize, 64, 256]
+        .iter()
+        .map(|&n| {
+            let mut c = base();
+            c.prefetch_queue_depth = n;
+            SweepPoint {
+                label: format!("{n}"),
+                config: c,
+            }
+        })
+        .collect();
+    axes.push(("prefetch-queue depth".to_string(), pfq));
+
+    axes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_shapes_are_consistent() {
+        let axes = standard_axes();
+        assert_eq!(axes.len(), 4);
+        for (_, points) in &axes {
+            assert!(points.len() >= 3);
+        }
+        let (axis, points) = axes.into_iter().next().expect("non-empty");
+        let r = sweep(&axis, points, &[Workload::Scn], Engine::Caps, Scale::Small);
+        assert_eq!(r.labels.len(), 4);
+        assert_eq!(r.speedup.len(), 4);
+        assert!(
+            r.speedup.iter().all(|&s| s > 0.3 && s < 3.0),
+            "{:?}",
+            r.speedup
+        );
+    }
+
+    #[test]
+    fn standard_axes_stay_valid_configs() {
+        for (_, points) in standard_axes() {
+            for p in points {
+                p.config.validate();
+            }
+        }
+    }
+}

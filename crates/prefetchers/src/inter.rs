@@ -1,0 +1,254 @@
+//! Inter-warp stride prefetcher (§III-B).
+//!
+//! Detects a per-PC stride between *consecutive hardware warps* and
+//! prefetches for trailing warps — deliberately **ignoring CTA
+//! boundaries**, which is the flaw the paper quantifies in Fig. 1: within
+//! a CTA the stride holds, but the warp after a CTA's last warp belongs
+//! to a different CTA whose base address is unrelated, so prefetches
+//! crossing the boundary are wrong and pollute the cache.
+
+use caps_gpu_sim::prefetch::{DemandObservation, PrefetchRequest, Prefetcher};
+use caps_gpu_sim::types::{line_base, Addr, Pc, WarpSlot};
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    pc: Pc,
+    last_warp: WarpSlot,
+    last_addr: Addr,
+    stride: i64,
+    confidence: u8,
+    lru: u64,
+}
+
+/// Per-SM inter-warp stride engine.
+pub struct InterWarpPrefetcher {
+    entries: Vec<Entry>,
+    capacity: usize,
+    /// How many warps ahead each prefetch targets (Fig. 1's x-axis).
+    pub distance: u32,
+    /// Prefetches issued per trigger (for warps `+1..=degree` when
+    /// `distance == 1`, or exactly warp `+distance` otherwise).
+    pub degree: u32,
+    max_warps: usize,
+    line_size: u32,
+    clock: u64,
+    table_accesses: u64,
+}
+
+const CONF_THRESHOLD: u8 = 2;
+
+impl InterWarpPrefetcher {
+    /// Default engine: prefetch for the next two warps.
+    pub fn new() -> Self {
+        Self::with_params(16, 1, 2, 48, 128)
+    }
+
+    /// Engine prefetching exactly for the warp `distance` ahead — the
+    /// Fig. 1 accuracy/timeliness probe.
+    pub fn with_distance(distance: u32) -> Self {
+        Self::with_params(16, distance, 1, 48, 128)
+    }
+
+    /// Fully parameterized constructor.
+    pub fn with_params(
+        capacity: usize,
+        distance: u32,
+        degree: u32,
+        max_warps: usize,
+        line_size: u32,
+    ) -> Self {
+        assert!(capacity > 0 && distance > 0 && degree > 0);
+        InterWarpPrefetcher {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            distance,
+            degree,
+            max_warps,
+            line_size,
+            clock: 0,
+            table_accesses: 0,
+        }
+    }
+}
+
+impl Default for InterWarpPrefetcher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Prefetcher for InterWarpPrefetcher {
+    fn name(&self) -> &'static str {
+        "INTER"
+    }
+
+    fn on_demand(&mut self, obs: &DemandObservation<'_>, out: &mut Vec<PrefetchRequest>) {
+        let Some(&addr) = obs.lines.first() else {
+            return;
+        };
+        self.table_accesses += 1;
+        self.clock += 1;
+        let clock = self.clock;
+
+        if let Some(e) = self.entries.iter_mut().find(|e| e.pc == obs.pc) {
+            e.lru = clock;
+            let dw = obs.warp_slot as i64 - e.last_warp as i64;
+            if dw != 0 {
+                let diff = addr as i64 - e.last_addr as i64;
+                if diff % dw == 0 {
+                    let s = diff / dw;
+                    if s == e.stride && s != 0 {
+                        e.confidence = (e.confidence + 1).min(3);
+                    } else {
+                        e.stride = s;
+                        e.confidence = u8::from(s != 0);
+                    }
+                } else {
+                    e.confidence = 0;
+                }
+                e.last_warp = obs.warp_slot;
+                e.last_addr = addr;
+                if e.confidence >= CONF_THRESHOLD {
+                    let stride = e.stride;
+                    for k in 0..self.degree {
+                        let d = (self.distance + k) as i64;
+                        let target = obs.warp_slot as i64 + d;
+                        if target < 0 || target as usize >= self.max_warps {
+                            continue;
+                        }
+                        let p = addr as i64 + stride * d;
+                        if p >= 0 {
+                            out.push(PrefetchRequest {
+                                line: line_base(p as Addr, self.line_size),
+                                pc: obs.pc,
+                                target_warp: Some(target as usize),
+                            });
+                        }
+                    }
+                }
+            } else {
+                // Same warp re-executing (loop): refresh the base only.
+                e.last_addr = addr;
+            }
+            return;
+        }
+
+        if self.entries.len() == self.capacity {
+            let victim = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.lru)
+                .map(|(i, _)| i)
+                .expect("full table");
+            self.entries.swap_remove(victim);
+        }
+        self.entries.push(Entry {
+            pc: obs.pc,
+            last_warp: obs.warp_slot,
+            last_addr: addr,
+            stride: 0,
+            confidence: 0,
+            lru: clock,
+        });
+    }
+
+    fn table_accesses(&self) -> u64 {
+        self.table_accesses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caps_gpu_sim::types::CtaCoord;
+
+    fn obs(pc: Pc, warp: WarpSlot, lines: &[Addr]) -> DemandObservation<'_> {
+        DemandObservation {
+            cycle: 0,
+            pc,
+            cta_slot: warp / 4,
+            cta: CtaCoord {
+                x: 0,
+                y: 0,
+                linear: (warp / 4) as u32,
+            },
+            warp_in_cta: (warp % 4) as u32,
+            warp_slot: warp,
+            warps_per_cta: 4,
+            lines,
+            is_affine: true,
+            iter: 0,
+        }
+    }
+
+    #[test]
+    fn detects_stride_across_consecutive_warps() {
+        let mut p = InterWarpPrefetcher::new();
+        let mut out = Vec::new();
+        p.on_demand(&obs(8, 0, &[0x1000]), &mut out);
+        p.on_demand(&obs(8, 1, &[0x1200]), &mut out); // Δ=512, conf 1
+        assert!(out.is_empty());
+        p.on_demand(&obs(8, 2, &[0x1400]), &mut out); // conf 2 → prefetch
+        assert_eq!(
+            out.iter().map(|r| r.line).collect::<Vec<_>>(),
+            vec![0x1600, 0x1800],
+            "prefetch for warps 3 and 4"
+        );
+        assert_eq!(out[0].target_warp, Some(3));
+        assert_eq!(out[1].target_warp, Some(4));
+    }
+
+    #[test]
+    fn crosses_cta_boundary_with_wrong_address() {
+        // The defining flaw: warp 3 is the last of CTA 0; warp 4 belongs
+        // to another CTA with an unrelated base, but INTER still predicts
+        // base + Δ.
+        let mut p = InterWarpPrefetcher::new();
+        let mut out = Vec::new();
+        for w in 0..3 {
+            p.on_demand(&obs(8, w, &[0x1000 + w as Addr * 0x200]), &mut out);
+        }
+        out.clear();
+        p.on_demand(&obs(8, 3, &[0x1600]), &mut out);
+        // Prefetch for warp 4 predicts 0x1800 — but warp 4's real base
+        // (different CTA) would be elsewhere. INTER has no way to know.
+        assert!(out
+            .iter()
+            .any(|r| r.target_warp == Some(4) && r.line == 0x1800));
+    }
+
+    #[test]
+    fn distance_parameter_targets_far_warp() {
+        let mut p = InterWarpPrefetcher::with_distance(7);
+        let mut out = Vec::new();
+        for w in 0..3 {
+            p.on_demand(&obs(8, w, &[0x1000 + w as Addr * 0x200]), &mut out);
+        }
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].target_warp, Some(2 + 7));
+        assert_eq!(out[0].line, 0x1400 + 7 * 0x200);
+    }
+
+    #[test]
+    fn same_warp_reexecution_does_not_destroy_stride() {
+        let mut p = InterWarpPrefetcher::new();
+        let mut out = Vec::new();
+        p.on_demand(&obs(8, 0, &[0x1000]), &mut out);
+        p.on_demand(&obs(8, 1, &[0x1200]), &mut out);
+        p.on_demand(&obs(8, 1, &[0x5000]), &mut out); // loop iteration
+        p.on_demand(&obs(8, 2, &[0x5200]), &mut out); // stride still 512
+        assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn out_of_range_targets_are_skipped() {
+        let mut p = InterWarpPrefetcher::with_params(4, 1, 2, 4, 128);
+        let mut out = Vec::new();
+        for w in 0..4 {
+            p.on_demand(&obs(8, w, &[0x1000 + w as Addr * 0x200]), &mut out);
+        }
+        // Last trigger at warp 3: targets 4 and 5 exceed max_warps=4.
+        assert!(out.iter().all(|r| r.target_warp.unwrap() < 4));
+    }
+}

@@ -1,0 +1,222 @@
+//! Intra-warp stride prefetcher (§III-A).
+//!
+//! Classic per-thread stride prefetching lifted to warp granularity: for
+//! each (warp, load PC) pair the engine tracks the address delta between
+//! successive executions — i.e. successive *loop iterations* of the same
+//! warp — and prefetches ahead once the delta repeats. Effective only for
+//! loads inside loops (Fig. 4 shows most GPU kernels have few), and
+//! issues prefetches only a short time before the next iteration's
+//! demand, limiting timeliness.
+
+use caps_gpu_sim::prefetch::{DemandObservation, PrefetchRequest, Prefetcher};
+use caps_gpu_sim::types::{line_base, Addr, Pc, WarpSlot};
+
+/// Detection-table entry for one (warp, PC) stream.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    warp: WarpSlot,
+    pc: Pc,
+    last: Addr,
+    stride: i64,
+    confidence: u8,
+    lru: u64,
+}
+
+/// Per-SM intra-warp stride engine.
+pub struct IntraWarpPrefetcher {
+    entries: Vec<Entry>,
+    capacity: usize,
+    /// Iterations prefetched ahead once the stride is stable.
+    pub degree: u32,
+    line_size: u32,
+    clock: u64,
+    table_accesses: u64,
+}
+
+/// Confidence needed before prefetches are issued.
+const CONF_THRESHOLD: u8 = 2;
+
+impl IntraWarpPrefetcher {
+    /// Default engine: 64 streams, prefetch degree 2.
+    pub fn new() -> Self {
+        Self::with_params(64, 2, 128)
+    }
+
+    /// Parameterized constructor.
+    pub fn with_params(capacity: usize, degree: u32, line_size: u32) -> Self {
+        assert!(capacity > 0 && degree > 0);
+        IntraWarpPrefetcher {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            degree,
+            line_size,
+            clock: 0,
+            table_accesses: 0,
+        }
+    }
+}
+
+impl Default for IntraWarpPrefetcher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Prefetcher for IntraWarpPrefetcher {
+    fn name(&self) -> &'static str {
+        "INTRA"
+    }
+
+    fn on_demand(&mut self, obs: &DemandObservation<'_>, out: &mut Vec<PrefetchRequest>) {
+        let Some(&addr) = obs.lines.first() else {
+            return;
+        };
+        self.table_accesses += 1;
+        self.clock += 1;
+        let clock = self.clock;
+
+        if let Some(e) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.warp == obs.warp_slot && e.pc == obs.pc)
+        {
+            let d = addr as i64 - e.last as i64;
+            if d == e.stride && d != 0 {
+                e.confidence = (e.confidence + 1).min(3);
+            } else {
+                e.stride = d;
+                e.confidence = u8::from(d != 0);
+            }
+            e.last = addr;
+            e.lru = clock;
+            if e.confidence >= CONF_THRESHOLD {
+                for k in 1..=self.degree as i64 {
+                    let p = addr as i64 + e.stride * k;
+                    if p >= 0 {
+                        out.push(PrefetchRequest {
+                            line: line_base(p as Addr, self.line_size),
+                            pc: obs.pc,
+                            target_warp: Some(obs.warp_slot),
+                        });
+                    }
+                }
+            }
+            return;
+        }
+
+        if self.entries.len() == self.capacity {
+            let victim = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.lru)
+                .map(|(i, _)| i)
+                .expect("full table");
+            self.entries.swap_remove(victim);
+        }
+        self.entries.push(Entry {
+            warp: obs.warp_slot,
+            pc: obs.pc,
+            last: addr,
+            stride: 0,
+            confidence: 0,
+            lru: clock,
+        });
+    }
+
+    fn table_accesses(&self) -> u64 {
+        self.table_accesses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caps_gpu_sim::types::CtaCoord;
+
+    fn obs(pc: Pc, warp: WarpSlot, lines: &[Addr]) -> DemandObservation<'_> {
+        DemandObservation {
+            cycle: 0,
+            pc,
+            cta_slot: 0,
+            cta: CtaCoord {
+                x: 0,
+                y: 0,
+                linear: 0,
+            },
+            warp_in_cta: warp as u32,
+            warp_slot: warp,
+            warps_per_cta: 4,
+            lines,
+            is_affine: true,
+            iter: 0,
+        }
+    }
+
+    #[test]
+    fn needs_two_confirmations_before_prefetching() {
+        let mut p = IntraWarpPrefetcher::new();
+        let mut out = Vec::new();
+        p.on_demand(&obs(8, 0, &[0x1000]), &mut out); // train
+        p.on_demand(&obs(8, 0, &[0x1400]), &mut out); // stride 0x400, conf 1
+        assert!(out.is_empty());
+        p.on_demand(&obs(8, 0, &[0x1800]), &mut out); // conf 2 → prefetch
+        assert_eq!(
+            out.iter().map(|r| r.line).collect::<Vec<_>>(),
+            vec![0x1c00, 0x2000],
+            "degree-2 prefetch of the next iterations"
+        );
+        assert_eq!(out[0].target_warp, Some(0));
+    }
+
+    #[test]
+    fn stride_change_resets_confidence() {
+        let mut p = IntraWarpPrefetcher::new();
+        let mut out = Vec::new();
+        p.on_demand(&obs(8, 0, &[0x1000]), &mut out);
+        p.on_demand(&obs(8, 0, &[0x1400]), &mut out);
+        p.on_demand(&obs(8, 0, &[0x9000]), &mut out); // break
+        assert!(out.is_empty());
+        p.on_demand(&obs(8, 0, &[0x9400]), &mut out); // new stride conf 1
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn streams_are_per_warp_and_per_pc() {
+        let mut p = IntraWarpPrefetcher::new();
+        let mut out = Vec::new();
+        // Interleave two warps: each trains its own stream.
+        for i in 0..3u64 {
+            p.on_demand(&obs(8, 0, &[0x1000 + i * 0x400]), &mut out);
+            p.on_demand(&obs(8, 1, &[0x80000 + i * 0x200]), &mut out);
+        }
+        let w0: Vec<_> = out.iter().filter(|r| r.target_warp == Some(0)).collect();
+        let w1: Vec<_> = out.iter().filter(|r| r.target_warp == Some(1)).collect();
+        assert_eq!(w0.len(), 2);
+        assert_eq!(w1.len(), 2);
+        assert_eq!(w0[0].line, 0x1800 + 0x400);
+        assert_eq!(w1[0].line, line_base(0x80400 + 0x200, 128));
+    }
+
+    #[test]
+    fn zero_stride_never_prefetches() {
+        let mut p = IntraWarpPrefetcher::new();
+        let mut out = Vec::new();
+        for _ in 0..5 {
+            p.on_demand(&obs(8, 0, &[0x1000]), &mut out);
+        }
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn capacity_is_bounded_with_lru() {
+        let mut p = IntraWarpPrefetcher::with_params(2, 1, 128);
+        let mut out = Vec::new();
+        p.on_demand(&obs(1, 0, &[0]), &mut out);
+        p.on_demand(&obs(2, 0, &[0]), &mut out);
+        p.on_demand(&obs(3, 0, &[0]), &mut out); // evicts pc 1
+        assert_eq!(p.entries.len(), 2);
+        assert!(p.entries.iter().any(|e| e.pc == 3));
+        assert!(!p.entries.iter().any(|e| e.pc == 1));
+    }
+}

@@ -1,0 +1,195 @@
+//! Locality-Aware Prefetching (Jog et al., ISCA'13; §VI-B "LAP").
+//!
+//! Memory is viewed in *macro blocks* of four consecutive cache lines.
+//! The engine tracks demand misses per macro block; once two or more
+//! lines of a block have missed, the remaining lines of the block are
+//! prefetched — spatial prefetching gated by demonstrated block locality.
+//! ORCH (§VI-B) pairs this engine with the group-interleaved two-level
+//! scheduler so consecutive warps prefetch for each other across
+//! scheduling groups.
+
+use caps_gpu_sim::prefetch::{PrefetchRequest, Prefetcher};
+use caps_gpu_sim::types::{Addr, Cycle};
+
+/// Lines per macro block.
+pub const MACRO_BLOCK_LINES: u32 = 4;
+
+#[derive(Debug, Clone, Copy)]
+struct BlockEntry {
+    block: Addr,
+    missed: u8, // bitmask of missed lines
+    prefetched: bool,
+    lru: u64,
+}
+
+/// Per-SM locality-aware engine.
+pub struct LocalityAwarePrefetcher {
+    entries: Vec<BlockEntry>,
+    capacity: usize,
+    line_size: u32,
+    /// Misses within a block required before prefetching the rest.
+    pub threshold: u32,
+    clock: u64,
+    table_accesses: u64,
+    name: &'static str,
+}
+
+impl LocalityAwarePrefetcher {
+    /// Paper-default engine: 64 tracked blocks, threshold 2.
+    pub fn new() -> Self {
+        Self::with_params(64, 2, 128)
+    }
+
+    /// The same engine labelled "ORCH" (paired with the grouped
+    /// scheduler by the harness).
+    pub fn orch() -> Self {
+        let mut p = Self::new();
+        p.name = "ORCH";
+        p
+    }
+
+    /// Parameterized constructor.
+    pub fn with_params(capacity: usize, threshold: u32, line_size: u32) -> Self {
+        assert!(capacity > 0 && threshold >= 1);
+        LocalityAwarePrefetcher {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            line_size,
+            threshold,
+            clock: 0,
+            table_accesses: 0,
+            name: "LAP",
+        }
+    }
+
+    #[inline]
+    fn block_of(&self, line: Addr) -> Addr {
+        line / (self.line_size as Addr * MACRO_BLOCK_LINES as Addr)
+    }
+
+    #[inline]
+    fn line_index(&self, line: Addr) -> u32 {
+        ((line / self.line_size as Addr) % MACRO_BLOCK_LINES as Addr) as u32
+    }
+}
+
+impl Default for LocalityAwarePrefetcher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Prefetcher for LocalityAwarePrefetcher {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn on_l1_miss(&mut self, _cycle: Cycle, line: Addr, out: &mut Vec<PrefetchRequest>) {
+        self.table_accesses += 1;
+        self.clock += 1;
+        let clock = self.clock;
+        let block = self.block_of(line);
+        let idx = self.line_index(line);
+        let threshold = self.threshold;
+        let line_size = self.line_size as Addr;
+
+        if let Some(e) = self.entries.iter_mut().find(|e| e.block == block) {
+            e.missed |= 1 << idx;
+            e.lru = clock;
+            if !e.prefetched && e.missed.count_ones() >= threshold {
+                e.prefetched = true;
+                let base = block * line_size * MACRO_BLOCK_LINES as Addr;
+                for k in 0..MACRO_BLOCK_LINES {
+                    if e.missed & (1 << k) == 0 {
+                        out.push(PrefetchRequest {
+                            line: base + k as Addr * line_size,
+                            pc: 0,
+                            target_warp: None,
+                        });
+                    }
+                }
+            }
+            return;
+        }
+
+        if self.entries.len() == self.capacity {
+            let victim = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.lru)
+                .map(|(i, _)| i)
+                .expect("full table");
+            self.entries.swap_remove(victim);
+        }
+        self.entries.push(BlockEntry {
+            block,
+            missed: 1 << idx,
+            prefetched: false,
+            lru: clock,
+        });
+    }
+
+    fn table_accesses(&self) -> u64 {
+        self.table_accesses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_misses_prefetch_rest_of_macro_block() {
+        let mut p = LocalityAwarePrefetcher::new();
+        let mut out = Vec::new();
+        p.on_l1_miss(0, 0x0, &mut out); // line 0 of block 0
+        assert!(out.is_empty());
+        p.on_l1_miss(0, 0x100, &mut out); // line 2 of block 0
+        assert_eq!(
+            out.iter().map(|r| r.line).collect::<Vec<_>>(),
+            vec![0x080, 0x180],
+            "remaining lines 1 and 3"
+        );
+    }
+
+    #[test]
+    fn block_prefetches_only_once() {
+        let mut p = LocalityAwarePrefetcher::new();
+        let mut out = Vec::new();
+        p.on_l1_miss(0, 0x0, &mut out);
+        p.on_l1_miss(0, 0x100, &mut out);
+        out.clear();
+        p.on_l1_miss(0, 0x080, &mut out);
+        assert!(out.is_empty(), "block already prefetched");
+    }
+
+    #[test]
+    fn blocks_are_independent() {
+        let mut p = LocalityAwarePrefetcher::new();
+        let mut out = Vec::new();
+        p.on_l1_miss(0, 0x0, &mut out); // block 0
+        p.on_l1_miss(0, 0x200, &mut out); // block 1
+        assert!(out.is_empty());
+        p.on_l1_miss(0, 0x280, &mut out); // block 1, second miss
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|r| r.line >= 0x200 && r.line < 0x400));
+    }
+
+    #[test]
+    fn orch_variant_reports_its_name() {
+        assert_eq!(LocalityAwarePrefetcher::orch().name(), "ORCH");
+        assert_eq!(LocalityAwarePrefetcher::new().name(), "LAP");
+    }
+
+    #[test]
+    fn lru_eviction_bounds_state() {
+        let mut p = LocalityAwarePrefetcher::with_params(2, 2, 128);
+        let mut out = Vec::new();
+        p.on_l1_miss(0, 0x0000, &mut out);
+        p.on_l1_miss(0, 0x1000, &mut out);
+        p.on_l1_miss(0, 0x2000, &mut out); // evicts block of 0x0000
+        p.on_l1_miss(0, 0x0080, &mut out); // re-allocates, single miss
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,84 @@
+//! # caps-prefetchers — baseline GPU prefetch engines
+//!
+//! Every comparison point of the paper's evaluation (Fig. 10–14),
+//! implemented against the [`caps_gpu_sim::prefetch::Prefetcher`]
+//! interface:
+//!
+//! | Engine | Paper legend | Scheme |
+//! |---|---|---|
+//! | [`IntraWarpPrefetcher`] | INTRA | per-warp (loop-iteration) stride |
+//! | [`InterWarpPrefetcher`] | INTER | per-PC stride across consecutive warps, CTA-oblivious |
+//! | [`MtaPrefetcher`] | MTA | many-thread-aware: intra first, inter fallback (Lee et al.) |
+//! | [`NextLinePrefetcher`] | NLP | next sequential line on each L1 miss |
+//! | [`LocalityAwarePrefetcher`] | LAP | 4-line macro-block spatial prefetch on ≥2 misses (Jog et al.) |
+//! | [`LocalityAwarePrefetcher::orch`] | ORCH | LAP paired with group-interleaved two-level scheduling |
+//!
+//! The CAPS engine itself lives in `caps-core`.
+
+#![warn(missing_docs)]
+
+pub mod inter;
+pub mod intra;
+pub mod lap;
+pub mod mta;
+pub mod nlp;
+
+pub use inter::InterWarpPrefetcher;
+pub use intra::IntraWarpPrefetcher;
+pub use lap::LocalityAwarePrefetcher;
+pub use mta::MtaPrefetcher;
+pub use nlp::NextLinePrefetcher;
+
+use caps_gpu_sim::prefetch::PrefetcherFactory;
+
+/// Factory for the INTRA engine.
+pub fn intra_factory() -> Box<PrefetcherFactory> {
+    Box::new(|_| Box::new(IntraWarpPrefetcher::new()))
+}
+
+/// Factory for the INTER engine.
+pub fn inter_factory() -> Box<PrefetcherFactory> {
+    Box::new(|_| Box::new(InterWarpPrefetcher::new()))
+}
+
+/// Factory for the INTER engine probing a fixed warp distance (Fig. 1).
+pub fn inter_distance_factory(distance: u32) -> Box<PrefetcherFactory> {
+    Box::new(move |_| Box::new(InterWarpPrefetcher::with_distance(distance)))
+}
+
+/// Factory for the MTA engine.
+pub fn mta_factory() -> Box<PrefetcherFactory> {
+    Box::new(|_| Box::new(MtaPrefetcher::new()))
+}
+
+/// Factory for the NLP engine.
+pub fn nlp_factory() -> Box<PrefetcherFactory> {
+    Box::new(|_| Box::new(NextLinePrefetcher::new()))
+}
+
+/// Factory for the LAP engine.
+pub fn lap_factory() -> Box<PrefetcherFactory> {
+    Box::new(|_| Box::new(LocalityAwarePrefetcher::new()))
+}
+
+/// Factory for the ORCH engine (pair with
+/// [`caps_gpu_sim::config::SchedulerKind::OrchGrouped`]).
+pub fn orch_factory() -> Box<PrefetcherFactory> {
+    Box::new(|_| Box::new(LocalityAwarePrefetcher::orch()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factories_report_paper_legend_names() {
+        assert_eq!(intra_factory()(0).name(), "INTRA");
+        assert_eq!(inter_factory()(0).name(), "INTER");
+        assert_eq!(mta_factory()(0).name(), "MTA");
+        assert_eq!(nlp_factory()(0).name(), "NLP");
+        assert_eq!(lap_factory()(0).name(), "LAP");
+        assert_eq!(orch_factory()(0).name(), "ORCH");
+        assert_eq!(inter_distance_factory(7)(0).name(), "INTER");
+    }
+}

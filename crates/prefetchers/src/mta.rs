@@ -1,0 +1,131 @@
+//! Many-Thread-Aware prefetching (Lee et al., MICRO'10; §VI-B "MTA").
+//!
+//! The hardware variant of MTA combines both stride modes: per-warp
+//! (intra) stride detection is tried first — it covers iterative loads in
+//! loops — and loads without a stable intra-warp stride fall back to
+//! inter-warp stride prefetching for trailing warps. Like INTER, the
+//! inter-warp half is oblivious to CTA boundaries, which is why MTA
+//! degrades as the number of concurrent CTAs grows (Fig. 11).
+
+use caps_gpu_sim::prefetch::{DemandObservation, PrefetchRequest, Prefetcher};
+use caps_gpu_sim::types::{CtaCoord, CtaSlot};
+
+use crate::inter::InterWarpPrefetcher;
+use crate::intra::IntraWarpPrefetcher;
+
+/// Combined intra+inter engine.
+pub struct MtaPrefetcher {
+    intra: IntraWarpPrefetcher,
+    inter: InterWarpPrefetcher,
+    scratch: Vec<PrefetchRequest>,
+}
+
+impl MtaPrefetcher {
+    /// Default engine (paper-typical degrees).
+    pub fn new() -> Self {
+        MtaPrefetcher {
+            intra: IntraWarpPrefetcher::new(),
+            inter: InterWarpPrefetcher::new(),
+            scratch: Vec::new(),
+        }
+    }
+}
+
+impl Default for MtaPrefetcher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Prefetcher for MtaPrefetcher {
+    fn name(&self) -> &'static str {
+        "MTA"
+    }
+
+    fn on_demand(&mut self, obs: &DemandObservation<'_>, out: &mut Vec<PrefetchRequest>) {
+        // Train intra first: a stable per-warp stride wins.
+        self.scratch.clear();
+        self.intra.on_demand(obs, &mut self.scratch);
+        if !self.scratch.is_empty() {
+            out.append(&mut self.scratch);
+            // Keep the inter table trained but discard its requests.
+            let mut sink = Vec::new();
+            self.inter.on_demand(obs, &mut sink);
+            return;
+        }
+        // No iterative stride: inter-warp prefetching.
+        self.inter.on_demand(obs, out);
+    }
+
+    fn on_cta_launch(&mut self, slot: CtaSlot, cta: CtaCoord) {
+        self.intra.on_cta_launch(slot, cta);
+        self.inter.on_cta_launch(slot, cta);
+    }
+
+    fn table_accesses(&self) -> u64 {
+        self.intra.table_accesses() + self.inter.table_accesses()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caps_gpu_sim::types::{Addr, Pc, WarpSlot};
+
+    fn obs(pc: Pc, warp: WarpSlot, lines: &[Addr]) -> DemandObservation<'_> {
+        DemandObservation {
+            cycle: 0,
+            pc,
+            cta_slot: warp / 4,
+            cta: CtaCoord {
+                x: 0,
+                y: 0,
+                linear: (warp / 4) as u32,
+            },
+            warp_in_cta: (warp % 4) as u32,
+            warp_slot: warp,
+            warps_per_cta: 4,
+            lines,
+            is_affine: true,
+            iter: 0,
+        }
+    }
+
+    #[test]
+    fn iterative_load_uses_intra_mode() {
+        let mut p = MtaPrefetcher::new();
+        let mut out = Vec::new();
+        // Same warp, same PC, marching by 0x400: intra stride.
+        for i in 0..3u64 {
+            p.on_demand(&obs(8, 0, &[0x1000 + i * 0x400]), &mut out);
+        }
+        assert!(!out.is_empty());
+        assert!(
+            out.iter().all(|r| r.target_warp == Some(0)),
+            "intra mode prefetches for the same warp"
+        );
+    }
+
+    #[test]
+    fn non_iterative_load_falls_back_to_inter_mode() {
+        let mut p = MtaPrefetcher::new();
+        let mut out = Vec::new();
+        // Each warp executes the PC once: no intra stride exists.
+        for w in 0..3 {
+            p.on_demand(&obs(8, w, &[0x1000 + w as Addr * 0x200]), &mut out);
+        }
+        assert!(!out.is_empty());
+        assert!(
+            out.iter().all(|r| r.target_warp.unwrap() > 2),
+            "inter mode prefetches for trailing warps"
+        );
+    }
+
+    #[test]
+    fn table_accesses_accumulate_from_both_halves() {
+        let mut p = MtaPrefetcher::new();
+        let mut out = Vec::new();
+        p.on_demand(&obs(8, 0, &[0x1000]), &mut out);
+        assert!(p.table_accesses() >= 2);
+    }
+}

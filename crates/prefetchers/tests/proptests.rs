@@ -1,0 +1,141 @@
+//! Property tests for the baseline prefetch engines.
+
+use caps_gpu_sim::prefetch::{DemandObservation, PrefetchRequest, Prefetcher};
+use caps_gpu_sim::types::{line_base, Addr, CtaCoord};
+use caps_prefetchers::lap::MACRO_BLOCK_LINES;
+use caps_prefetchers::{
+    InterWarpPrefetcher, IntraWarpPrefetcher, LocalityAwarePrefetcher, MtaPrefetcher,
+    NextLinePrefetcher,
+};
+use proptest::prelude::*;
+
+fn obs<'a>(pc: u32, warp: usize, lines: &'a [Addr]) -> DemandObservation<'a> {
+    DemandObservation {
+        cycle: 0,
+        pc,
+        cta_slot: warp / 4,
+        cta: CtaCoord::from_linear((warp / 4) as u32, 8),
+        warp_in_cta: (warp % 4) as u32,
+        warp_slot: warp,
+        warps_per_cta: 4,
+        lines,
+        is_affine: true,
+        iter: 0,
+    }
+}
+
+proptest! {
+    /// INTRA: after a stable stride, the prediction is exactly
+    /// last + k·stride for the same warp, for any stride.
+    #[test]
+    fn intra_predicts_exact_stride(
+        base in 1u64 << 12..1 << 28,
+        stride_lines in 1i64..128,
+        warp in 0usize..48,
+    ) {
+        let stride = stride_lines * 128;
+        let mut p = IntraWarpPrefetcher::new();
+        let mut out: Vec<PrefetchRequest> = Vec::new();
+        for i in 0..3u64 {
+            let lines = [base + i * stride as u64];
+            out.clear();
+            p.on_demand(&obs(8, warp, &lines), &mut out);
+        }
+        prop_assert!(!out.is_empty());
+        let last = base + 2 * stride as u64;
+        for (k, r) in out.iter().enumerate() {
+            prop_assert_eq!(r.line, line_base(last + (k as u64 + 1) * stride as u64, 128));
+            prop_assert_eq!(r.target_warp, Some(warp));
+        }
+    }
+
+    /// INTRA keeps separate streams per warp: training one warp never
+    /// emits prefetches for another.
+    #[test]
+    fn intra_streams_do_not_leak(w1 in 0usize..24, w2 in 24usize..48) {
+        let mut p = IntraWarpPrefetcher::new();
+        let mut out = Vec::new();
+        for i in 0..4u64 {
+            let lines = [0x10000 + i * 0x400];
+            p.on_demand(&obs(8, w1, &lines), &mut out);
+        }
+        prop_assert!(out.iter().all(|r| r.target_warp == Some(w1)));
+        let _ = w2;
+    }
+
+    /// INTER: with a clean warp sequence, predictions equal the stride
+    /// extrapolation; the target warp is always ahead of the trigger.
+    #[test]
+    fn inter_extrapolates_forward(
+        base in 1u64 << 12..1 << 28,
+        stride_lines in 1i64..64,
+        distance in 1u32..10,
+    ) {
+        let stride = stride_lines * 128;
+        let mut p = InterWarpPrefetcher::with_distance(distance);
+        let mut out: Vec<PrefetchRequest> = Vec::new();
+        for w in 0..3usize {
+            let lines = [base + w as u64 * stride as u64];
+            out.clear();
+            p.on_demand(&obs(8, w, &lines), &mut out);
+        }
+        for r in &out {
+            let t = r.target_warp.expect("bound") as u64;
+            prop_assert!(t > 2, "target must trail the trigger warp");
+            prop_assert_eq!(r.line, line_base(base + t * stride as u64, 128));
+        }
+    }
+
+    /// NLP always prefetches exactly the next `depth` lines.
+    #[test]
+    fn nlp_is_purely_sequential(line in 0u64..1 << 30, depth in 1u32..4) {
+        let line = line_base(line, 128);
+        let mut p = NextLinePrefetcher::with_params(128, depth);
+        let mut out = Vec::new();
+        p.on_l1_miss(0, line, &mut out);
+        prop_assert_eq!(out.len(), depth as usize);
+        for (k, r) in out.iter().enumerate() {
+            prop_assert_eq!(r.line, line + (k as u64 + 1) * 128);
+            prop_assert_eq!(r.target_warp, None);
+        }
+    }
+
+    /// LAP: generated lines always lie inside the triggering macro block
+    /// and never duplicate the missed lines.
+    #[test]
+    fn lap_stays_inside_the_macro_block(
+        block in 0u64..1 << 20,
+        l1 in 0u32..4,
+        l2 in 0u32..4,
+    ) {
+        prop_assume!(l1 != l2);
+        let block_base = block * 128 * MACRO_BLOCK_LINES as u64;
+        let mut p = LocalityAwarePrefetcher::new();
+        let mut out = Vec::new();
+        p.on_l1_miss(0, block_base + l1 as u64 * 128, &mut out);
+        p.on_l1_miss(0, block_base + l2 as u64 * 128, &mut out);
+        prop_assert_eq!(out.len(), (MACRO_BLOCK_LINES - 2) as usize);
+        for r in &out {
+            prop_assert!(r.line >= block_base);
+            prop_assert!(r.line < block_base + MACRO_BLOCK_LINES as u64 * 128);
+            prop_assert_ne!(r.line, block_base + l1 as u64 * 128);
+            prop_assert_ne!(r.line, block_base + l2 as u64 * 128);
+        }
+    }
+
+    /// MTA = INTRA priority with INTER fallback: a warp with a stable
+    /// intra stride gets same-warp prefetches, never cross-warp ones.
+    #[test]
+    fn mta_prefers_intra_for_iterative_streams(stride_lines in 1i64..32) {
+        let stride = stride_lines * 128;
+        let mut p = MtaPrefetcher::new();
+        let mut out = Vec::new();
+        for i in 0..4u64 {
+            let lines = [0x40000 + i * stride as u64];
+            out.clear();
+            p.on_demand(&obs(8, 5, &lines), &mut out);
+        }
+        prop_assert!(!out.is_empty());
+        prop_assert!(out.iter().all(|r| r.target_warp == Some(5)));
+    }
+}

@@ -1,0 +1,93 @@
+//! BFS — Breadth First Search (Rodinia).
+//!
+//! The paper's Fig. 6b example. Thread-indexed metadata
+//! (`g_graph_mask[tid]`, `g_graph_nodes[tid]`, `g_cost[tid]`) is
+//! perfectly predictable from CTA id and thread id — CAP prefetches it —
+//! while the edge-expansion loop chases `g_graph_edges[i]`-indexed
+//! neighbours whose addresses are loaded data: excluded from prefetch by
+//! the indirect-access detection.
+
+use caps_gpu_sim::isa::ProgramBuilder;
+use caps_gpu_sim::kernel::Kernel;
+
+use crate::dsl::{indirect, linear, linear_loop};
+use crate::suite::WorkloadInfo;
+use crate::Scale;
+
+pub(crate) fn info() -> WorkloadInfo {
+    WorkloadInfo {
+        abbr: "BFS",
+        name: "Breadth First Search",
+        suite: "Rodinia",
+        irregular: true,
+        looped_loads: 5,
+        total_loads: 9,
+        top4_iters: [5.0, 5.0, 5.0, 5.0],
+    }
+}
+
+pub(crate) fn kernel(scale: Scale) -> Kernel {
+    let ctas = scale.ctas(128);
+    let iters = match scale {
+        Scale::Full => 5, // mean out-degree of the frontier
+        Scale::Small => 2,
+    };
+    let cta_pitch = 8 * 128; // MAX_THREADS_PER_BLOCK · 4 B, Fig. 6b's C2·C3
+    let prog = ProgramBuilder::new()
+        .ld(linear(0, cta_pitch, 128)) // g_graph_mask[tid]
+        .ld(linear(1, cta_pitch * 2, 256)) // g_graph_nodes[tid] (8 B records)
+        .ld(linear(2, cta_pitch, 128)) // g_cost[tid]
+        .ld(linear(3, cta_pitch, 128)) // g_updating_mask[tid]
+        .wait()
+        .alu(10)
+        // Frontier predicate (`if (tid < n && g_graph_mask[tid])`):
+        // roughly half the warps expand edges this sweep.
+        .begin_skip(2)
+        .begin_loop(iters)
+        .ld(linear_loop(4, cta_pitch, 128, 8 * 128)) // g_graph_edges[i]
+        .ld_lanes(indirect(8, 1 << 17, 53), 8) // g_graph_visited[id]
+        .ld_lanes(indirect(9, 1 << 17, 59), 8) // g_cost[id]
+        .wait()
+        .alu(10)
+        .st_lanes(indirect(10, 1 << 17, 61), 8) // g_updating_graph_mask[id]
+        .end_loop()
+        .end_skip()
+        .st(linear(0, cta_pitch, 128)) // g_graph_mask[tid] = false
+        .build();
+    Kernel::new("BFS", (ctas, 1), 256, prog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caps_gpu_sim::isa::Op;
+
+    #[test]
+    fn metadata_is_affine_edges_are_indirect() {
+        let k = kernel(Scale::Full);
+        let affine_loads = k
+            .program
+            .ops()
+            .iter()
+            .filter(|op| matches!(op, Op::Ld { pattern, .. } if pattern.is_affine()))
+            .count();
+        let indirect_loads = k
+            .program
+            .ops()
+            .iter()
+            .filter(|op| matches!(op, Op::Ld { pattern, .. } if !pattern.is_affine()))
+            .count();
+        assert_eq!(affine_loads, 5, "mask/nodes/cost/updating + edge scan");
+        assert_eq!(indirect_loads, 2, "visited + cost chases");
+    }
+
+    #[test]
+    fn frontier_loop_iterates() {
+        let k = kernel(Scale::Full);
+        assert!(k
+            .program
+            .static_loads()
+            .iter()
+            .any(|&(_, it, l)| l && it == 5));
+    }
+}

@@ -1,0 +1,66 @@
+//! BPR — backprop (Rodinia).
+//!
+//! Neural-network training layer: the weight matrices are shared by all
+//! CTAs (L2-hot after the first wave) while per-sample activations
+//! stream. 14 static loads, none in loops (Fig. 4), moderate arithmetic,
+//! two stores — a bursty, load-dense kernel.
+
+use caps_gpu_sim::isa::ProgramBuilder;
+use caps_gpu_sim::kernel::Kernel;
+
+use crate::dsl::{linear, linear_at};
+use crate::suite::WorkloadInfo;
+use crate::Scale;
+
+pub(crate) fn info() -> WorkloadInfo {
+    WorkloadInfo {
+        abbr: "BPR",
+        name: "backprop",
+        suite: "Rodinia",
+        irregular: false,
+        looped_loads: 0,
+        total_loads: 14,
+        top4_iters: [1.0, 1.0, 1.0, 1.0],
+    }
+}
+
+pub(crate) fn kernel(scale: Scale) -> Kernel {
+    let ctas = scale.ctas(128);
+    let cta_pitch = 512; // adjacent CTAs overlap half a stripe (reuse)
+    let mut b = ProgramBuilder::new();
+    // Private activations (streaming, strided).
+    for arr in 0..6u32 {
+        b = b.ld(linear(arr, cta_pitch, 128));
+        if arr % 3 == 2 {
+            b = b.wait().alu(20);
+        }
+    }
+    // Shared weight tiles (identical across CTAs; L2-resident).
+    for arr in 8..16u32 {
+        b = b.ld(linear_at(arr, 0, 0, 256));
+        if arr % 4 == 3 {
+            b = b.wait().alu(20);
+        }
+    }
+    let prog = b
+        .wait()
+        .alu(24)
+        .st(linear(16, cta_pitch, 128))
+        .st(linear(17, cta_pitch, 128))
+        .build();
+    Kernel::new("BPR", (ctas, 1), 256, prog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fourteen_straight_line_loads() {
+        let k = kernel(Scale::Full);
+        let loads = k.program.static_loads();
+        assert_eq!(loads.len(), 14);
+        assert!(loads.iter().all(|(_, _, looped)| !looped));
+        assert_eq!(k.warps_per_cta(32), 8);
+    }
+}

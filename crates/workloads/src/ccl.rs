@@ -1,0 +1,68 @@
+//! CCL — Connected Component Labelling (GPU graph suite).
+//!
+//! Label propagation over an image/graph: strided reads of the label and
+//! adjacency arrays plus neighbour chases through data-dependent
+//! indices. One of 22 static loads repeats (Fig. 4).
+
+use caps_gpu_sim::isa::ProgramBuilder;
+use caps_gpu_sim::kernel::Kernel;
+
+use crate::dsl::{indirect, linear};
+use crate::suite::WorkloadInfo;
+use crate::Scale;
+
+pub(crate) fn info() -> WorkloadInfo {
+    WorkloadInfo {
+        abbr: "CCL",
+        name: "Connected Component Labelling",
+        suite: "IISWC'14 graph suite",
+        irregular: true,
+        looped_loads: 1,
+        total_loads: 22,
+        top4_iters: [24.0, 1.0, 1.0, 1.0],
+    }
+}
+
+pub(crate) fn kernel(scale: Scale) -> Kernel {
+    let ctas = scale.ctas(96);
+    let iters = scale.iters(24);
+    let cta_pitch = 8 * 128 * 4;
+    let mut b = ProgramBuilder::new();
+    // Strided structure loads (representative 5 of 21 straight-line).
+    for arr in 0..5u32 {
+        b = b.ld(linear(arr, cta_pitch, 128));
+    }
+    b = b.wait().alu(14);
+    // Neighbour label chases.
+    b = b
+        .ld_lanes(indirect(8, 1 << 17, 41), 8)
+        .ld_lanes(indirect(9, 1 << 17, 43), 8)
+        .wait()
+        .alu(4);
+    let prog = b
+        // Only unconverged labels keep propagating (divergent frontier).
+        .begin_skip(2)
+        .begin_loop(iters)
+        .ld_lanes(indirect(10, 1 << 17, 47), 8) // frontier chase
+        .wait()
+        .alu(12)
+        .end_loop()
+        .end_skip()
+        .st(linear(11, cta_pitch, 128))
+        .build();
+    Kernel::new("CCL", (ctas, 1), 256, prog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_declaration() {
+        let k = kernel(Scale::Full);
+        let loads = k.program.static_loads();
+        let looped = loads.iter().filter(|(_, _, l)| *l).count();
+        assert_eq!(looped, 1);
+        assert!(loads.iter().any(|&(_, it, l)| l && it == 24));
+    }
+}

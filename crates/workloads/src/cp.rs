@@ -1,0 +1,66 @@
+//! CP — Coulombic Potential (CUDA SDK / VMD lineage).
+//!
+//! Each thread evaluates the potential at one grid point against a block
+//! of atoms. The atom array is read by *every* CTA (identical addresses),
+//! so it is L2-hot after the first wave; the grid-point read streams.
+//! Compute-dominated — the long ALU chain hides most memory latency, so
+//! prefetching gains are small (paper: ~2%).
+
+use caps_gpu_sim::isa::ProgramBuilder;
+use caps_gpu_sim::kernel::Kernel;
+
+use crate::dsl::{linear, linear_at};
+use crate::suite::WorkloadInfo;
+use crate::Scale;
+
+pub(crate) fn info() -> WorkloadInfo {
+    WorkloadInfo {
+        abbr: "CP",
+        name: "Coulombic Potential",
+        suite: "CUDA SDK",
+        irregular: false,
+        looped_loads: 0,
+        total_loads: 2,
+        top4_iters: [1.0, 1.0, 0.0, 0.0],
+    }
+}
+
+pub(crate) fn kernel(scale: Scale) -> Kernel {
+    let ctas = scale.ctas(384);
+    let cta_pitch = 4 * 128; // 4 warps × one line of grid points
+    let prog = ProgramBuilder::new()
+        .ld(linear(0, cta_pitch, 128)) // grid point coordinates (stream)
+        .ld(linear_at(1, 0, 0, 128)) // atom tile — shared by all CTAs
+        .wait()
+        .alu(80) // distance + potential accumulation chain
+        .alu(80)
+        .st(linear(2, cta_pitch, 128)) // potential out
+        .build();
+    Kernel::new("CP", (ctas, 1), 128, prog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caps_gpu_sim::isa::Op;
+    use caps_gpu_sim::types::CtaCoord;
+
+    #[test]
+    fn geometry_and_loads() {
+        let k = kernel(Scale::Full);
+        assert_eq!(k.num_ctas(), 384);
+        assert_eq!(k.warps_per_cta(32), 4);
+        assert_eq!(k.program.static_loads().len(), info().total_loads as usize);
+    }
+
+    #[test]
+    fn atom_tile_is_shared_across_ctas() {
+        let k = kernel(Scale::Full);
+        let Op::Ld { pattern, .. } = k.program.op(1) else {
+            panic!()
+        };
+        let a = pattern.addr(CtaCoord::from_linear(0, 192), 1, 5, 0);
+        let b = pattern.addr(CtaCoord::from_linear(117, 192), 1, 5, 0);
+        assert_eq!(a, b, "every CTA reads the same atom tile");
+    }
+}

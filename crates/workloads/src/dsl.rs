@@ -1,0 +1,190 @@
+//! Helpers for authoring benchmark kernels.
+//!
+//! Arrays live in disjoint 16 MiB regions so prefetch streams of distinct
+//! loads never alias. The pattern constructors encode the §IV address
+//! decomposition idioms that recur across the suite.
+
+use caps_gpu_sim::isa::{AddrPattern, AffinePattern, CtaTerm, IndirectPattern};
+use caps_gpu_sim::types::Addr;
+
+/// Base address of array number `i` (16 MiB apart).
+#[inline]
+pub fn region(i: u32) -> Addr {
+    0x1000_0000 + ((i as Addr) << 24)
+}
+
+/// A 1-D grid access: `addr = base + cta·pitch + warp·Δ + lane·4`.
+/// `pitch ≠ warps_per_cta·Δ` in general — the inter-CTA discontinuity.
+pub fn linear(array: u32, cta_pitch: i64, warp_stride: i64) -> AddrPattern {
+    AddrPattern::Affine(AffinePattern {
+        base: region(array),
+        cta_term: CtaTerm::Linear { pitch: cta_pitch },
+        warp_stride,
+        lane_stride: 4,
+        iter_stride: 0,
+    })
+}
+
+/// A 2-D surface access: `θ = cta.x·x_pitch + cta.y·y_pitch` (LPS-style,
+/// Fig. 6a). Consecutively launched CTAs wrap rows, so θ deltas are
+/// irregular in launch order.
+pub fn surface(array: u32, x_pitch: i64, y_pitch: i64, warp_stride: i64) -> AddrPattern {
+    AddrPattern::Affine(AffinePattern {
+        base: region(array),
+        cta_term: CtaTerm::Surface2D { x_pitch, y_pitch },
+        warp_stride,
+        lane_stride: 4,
+        iter_stride: 0,
+    })
+}
+
+/// A loop access marching by `iter_stride` bytes per iteration on top of
+/// a 2-D surface base.
+pub fn surface_loop(
+    array: u32,
+    x_pitch: i64,
+    y_pitch: i64,
+    warp_stride: i64,
+    iter_stride: i64,
+) -> AddrPattern {
+    AddrPattern::Affine(AffinePattern {
+        base: region(array),
+        cta_term: CtaTerm::Surface2D { x_pitch, y_pitch },
+        warp_stride,
+        lane_stride: 4,
+        iter_stride,
+    })
+}
+
+/// A loop access on a 1-D grid.
+pub fn linear_loop(array: u32, cta_pitch: i64, warp_stride: i64, iter_stride: i64) -> AddrPattern {
+    AddrPattern::Affine(AffinePattern {
+        base: region(array),
+        cta_term: CtaTerm::Linear { pitch: cta_pitch },
+        warp_stride,
+        lane_stride: 4,
+        iter_stride,
+    })
+}
+
+/// A 1-D grid access at a byte offset within the array — models
+/// neighbour loads (`A[i-1]`, `A[i+1]`) that overlap other threads'
+/// accesses and create the cache reuse real kernels exhibit.
+pub fn linear_at(array: u32, offset: i64, cta_pitch: i64, warp_stride: i64) -> AddrPattern {
+    AddrPattern::Affine(AffinePattern {
+        base: (region(array) as i64 + offset) as Addr,
+        cta_term: CtaTerm::Linear { pitch: cta_pitch },
+        warp_stride,
+        lane_stride: 4,
+        iter_stride: 0,
+    })
+}
+
+/// A 2-D surface access at a byte offset (stencil taps / halo rows of
+/// one shared array).
+pub fn surface_at(
+    array: u32,
+    offset: i64,
+    x_pitch: i64,
+    y_pitch: i64,
+    warp_stride: i64,
+) -> AddrPattern {
+    AddrPattern::Affine(AffinePattern {
+        base: (region(array) as i64 + offset) as Addr,
+        cta_term: CtaTerm::Surface2D { x_pitch, y_pitch },
+        warp_stride,
+        lane_stride: 4,
+        iter_stride: 0,
+    })
+}
+
+/// A 2-D surface loop access at a byte offset.
+pub fn surface_loop_at(
+    array: u32,
+    offset: i64,
+    x_pitch: i64,
+    y_pitch: i64,
+    warp_stride: i64,
+    iter_stride: i64,
+) -> AddrPattern {
+    AddrPattern::Affine(AffinePattern {
+        base: (region(array) as i64 + offset) as Addr,
+        cta_term: CtaTerm::Surface2D { x_pitch, y_pitch },
+        warp_stride,
+        lane_stride: 4,
+        iter_stride,
+    })
+}
+
+/// A broadcast access (all lanes read the same small table — e.g.
+/// convolution coefficients, k-means centroids).
+pub fn broadcast(array: u32) -> AddrPattern {
+    AddrPattern::Affine(AffinePattern {
+        base: region(array),
+        cta_term: CtaTerm::Linear { pitch: 0 },
+        warp_stride: 0,
+        lane_stride: 0,
+        iter_stride: 128,
+    })
+}
+
+/// A data-dependent (graph-style) access over a `len`-byte footprint —
+/// stride-free by construction, excluded by CAP's indirect detection.
+pub fn indirect(array: u32, len: u64, salt: u64) -> AddrPattern {
+    AddrPattern::Indirect(IndirectPattern {
+        region_base: region(array),
+        region_len: len,
+        salt,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caps_gpu_sim::types::CtaCoord;
+
+    #[test]
+    fn regions_do_not_overlap() {
+        for i in 0..32u32 {
+            assert_eq!(region(i + 1) - region(i), 1 << 24);
+        }
+    }
+
+    #[test]
+    fn linear_pattern_strides_per_warp() {
+        let p = linear(0, 4096, 512);
+        let cta = CtaCoord::from_linear(3, 8);
+        let a0 = p.addr(cta, 0, 0, 0);
+        let a1 = p.addr(cta, 1, 0, 0);
+        assert_eq!(a1 - a0, 512);
+        assert_eq!(a0, region(0) + 3 * 4096);
+    }
+
+    #[test]
+    fn surface_pattern_wraps_rows_irregularly() {
+        let p = surface(0, 128, 99_840, 1024);
+        let grid_x = 16;
+        let theta = |l: u32| {
+            let c = CtaCoord::from_linear(l, grid_x);
+            p.addr(c, 0, 0, 0)
+        };
+        // Step within a row vs. step across the row wrap differ.
+        let in_row = theta(1) as i64 - theta(0) as i64;
+        let wrap = theta(16) as i64 - theta(15) as i64;
+        assert_ne!(in_row, wrap);
+    }
+
+    #[test]
+    fn broadcast_touches_one_line_per_iteration() {
+        let p = broadcast(2);
+        let cta = CtaCoord::from_linear(5, 4);
+        assert_eq!(p.addr(cta, 0, 0, 0), p.addr(cta, 3, 31, 0));
+        assert_eq!(p.addr(cta, 0, 0, 1) - p.addr(cta, 0, 0, 0), 128);
+    }
+
+    #[test]
+    fn indirect_is_affine_false() {
+        assert!(!indirect(9, 1 << 22, 1).is_affine());
+        assert!(linear(0, 0, 0).is_affine());
+    }
+}

@@ -1,0 +1,69 @@
+//! FFT (SHOC).
+//!
+//! A radix-stage butterfly: eight data loads of the CTA-private signal
+//! at doubling strides, four twiddle-factor loads shared across all
+//! CTAs, and four bit-reversal index reads — sixteen straight-line loads
+//! with heterogeneous strides. More distinct PCs than the CAP tables
+//! hold, exercising entry replacement.
+
+use caps_gpu_sim::isa::ProgramBuilder;
+use caps_gpu_sim::kernel::Kernel;
+
+use crate::dsl::{linear, linear_at};
+use crate::suite::WorkloadInfo;
+use crate::Scale;
+
+pub(crate) fn info() -> WorkloadInfo {
+    WorkloadInfo {
+        abbr: "FFT",
+        name: "FFT",
+        suite: "SHOC",
+        irregular: false,
+        looped_loads: 0,
+        total_loads: 16,
+        top4_iters: [1.0, 1.0, 1.0, 1.0],
+    }
+}
+
+pub(crate) fn kernel(scale: Scale) -> Kernel {
+    let ctas = scale.ctas(192);
+    let cta_pitch = 4 * 2048;
+    let mut b = ProgramBuilder::new();
+    // Butterfly data legs: stride doubles every two loads.
+    for leg in 0..8u32 {
+        let stride = 128i64 << (leg / 2); // 128..1024
+        b = b.ld(linear(0, cta_pitch, stride));
+        if leg % 4 == 3 {
+            b = b.wait().alu(24);
+        }
+    }
+    // Twiddle factors — shared across CTAs (hot).
+    for t in 0..4i64 {
+        b = b.ld(linear_at(2, t * 512, 0, 128));
+    }
+    // Bit-reversal index tables — shared.
+    for t in 0..4i64 {
+        b = b.ld(linear_at(3, t * 256, 0, 128));
+    }
+    let prog = b
+        .wait()
+        .alu(30)
+        .st(linear(4, cta_pitch, 128))
+        .st(linear(5, cta_pitch, 128))
+        .build();
+    Kernel::new("FFT", (ctas, 1), 128, prog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_loads_no_loops() {
+        let k = kernel(Scale::Full);
+        let loads = k.program.static_loads();
+        assert_eq!(loads.len(), 16);
+        assert!(loads.iter().all(|(_, _, l)| !l));
+        assert!(loads.len() > 4, "more PCs than CAP entries");
+    }
+}

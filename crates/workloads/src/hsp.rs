@@ -1,0 +1,82 @@
+//! HSP — hotspot (Rodinia).
+//!
+//! Thermal simulation over a 2-D plate with halo exchanges. The halo
+//! offsets make the *line-level* warp stride irregular: the temperature
+//! and power reads use a warp stride that is not a multiple of the cache
+//! line, so consecutive warps touch a varying number of lines. CAP
+//! detects the mismatch through its address verification and throttles —
+//! the paper reports HSP among the lowest-coverage benchmarks (§VI-C).
+
+use caps_gpu_sim::isa::ProgramBuilder;
+use caps_gpu_sim::kernel::Kernel;
+
+use crate::dsl::surface;
+use crate::suite::WorkloadInfo;
+use crate::Scale;
+
+pub(crate) fn info() -> WorkloadInfo {
+    WorkloadInfo {
+        abbr: "HSP",
+        name: "hotspot",
+        suite: "Rodinia",
+        irregular: false,
+        looped_loads: 0,
+        total_loads: 2,
+        top4_iters: [1.0, 1.0, 0.0, 0.0],
+    }
+}
+
+pub(crate) fn kernel(scale: Scale) -> Kernel {
+    let side = match scale {
+        Scale::Full => 12,
+        Scale::Small => 4,
+    };
+    // Halo-adjusted row width: 576 B ≠ k·128 B, so line-level strides
+    // alternate between one and two lines per warp step.
+    let halo_row = 576;
+    let prog = ProgramBuilder::new()
+        .ld(surface(0, 128, halo_row * 8, halo_row)) // temp with halo
+        .ld(surface(1, 128, halo_row * 8, halo_row)) // power with halo
+        .wait()
+        .alu(40)
+        .st(surface(2, 128, halo_row * 8, halo_row))
+        .build();
+    Kernel::new("HSP", (side, side), 256, prog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caps_gpu_sim::coalescer::coalesce;
+    use caps_gpu_sim::isa::Op;
+    use caps_gpu_sim::types::CtaCoord;
+
+    #[test]
+    fn two_loads_no_loops() {
+        let k = kernel(Scale::Full);
+        let loads = k.program.static_loads();
+        assert_eq!(loads.len(), 2);
+        assert!(loads.iter().all(|(_, _, looped)| !looped));
+    }
+
+    #[test]
+    fn halo_stride_breaks_line_level_regularity() {
+        // The word-level stride is constant (576) but line-level bases
+        // do not stride uniformly — CAP's verification will see
+        // mismatches.
+        let k = kernel(Scale::Full);
+        let Op::Ld { pattern, .. } = k.program.op(0) else {
+            panic!("expected load")
+        };
+        let cta = CtaCoord::from_linear(0, 12);
+        let mut lines = Vec::new();
+        let mut firsts = Vec::new();
+        for w in 0..4 {
+            coalesce(&pattern, cta, w, 0, 32, 128, &mut lines);
+            firsts.push(lines[0] as i64);
+        }
+        let d1 = firsts[1] - firsts[0];
+        let d2 = firsts[2] - firsts[1];
+        assert_ne!(d1, d2, "line-level stride must be irregular");
+    }
+}

@@ -1,0 +1,67 @@
+//! HST — histogram (CUDA SDK).
+//!
+//! Each warp scans a chunk of input in a 15-iteration loop (the suite's
+//! single static load sits in that loop, Fig. 4: 1/1) and scatters
+//! increments into bins. The scatter is a data-dependent *store* — loads
+//! stay strided, so prefetching still applies to the scan.
+
+use caps_gpu_sim::isa::ProgramBuilder;
+use caps_gpu_sim::kernel::Kernel;
+
+use crate::dsl::{indirect, linear_loop};
+use crate::suite::WorkloadInfo;
+use crate::Scale;
+
+pub(crate) fn info() -> WorkloadInfo {
+    WorkloadInfo {
+        abbr: "HST",
+        name: "histogram",
+        suite: "CUDA SDK",
+        irregular: false,
+        looped_loads: 1,
+        total_loads: 1,
+        top4_iters: [15.0, 0.0, 0.0, 0.0],
+    }
+}
+
+pub(crate) fn kernel(scale: Scale) -> Kernel {
+    let ctas = scale.ctas(96);
+    let iters = scale.iters(15);
+    let cta_pitch = 8 * 128 * 15; // warps × line × iters
+    let prog = ProgramBuilder::new()
+        .begin_loop(iters)
+        .ld(linear_loop(0, cta_pitch, 128, 8 * 128)) // input chunk scan
+        .wait()
+        .alu(20) // bin computation
+        .st_lanes(indirect(1, 1 << 16, 77), 8) // scatter into bins
+        .end_loop()
+        .build();
+    Kernel::new("HST", (ctas, 1), 256, prog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caps_gpu_sim::isa::Op;
+
+    #[test]
+    fn single_looped_load() {
+        let k = kernel(Scale::Full);
+        let loads = k.program.static_loads();
+        assert_eq!(loads.len(), 1);
+        assert!(loads[0].2);
+        assert_eq!(loads[0].1, 15);
+    }
+
+    #[test]
+    fn scatter_is_a_store_not_a_load() {
+        let k = kernel(Scale::Full);
+        let indirect_stores = k
+            .program
+            .ops()
+            .iter()
+            .filter(|op| matches!(op, Op::St { pattern, .. } if !pattern.is_affine()))
+            .count();
+        assert_eq!(indirect_stores, 1);
+    }
+}

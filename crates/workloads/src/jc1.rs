@@ -1,0 +1,77 @@
+//! JC1 — jacobi1D (Polybench/GPU).
+//!
+//! One-dimensional Jacobi relaxation: three neighbour loads (`A[i-1]`,
+//! `A[i]`, `A[i+1]`) of the *same* array plus a coefficient read.
+//! Neighbour loads mostly land in lines already fetched by this or the
+//! adjacent warp, so the kernel is miss-latency-bound on the leading
+//! edge of each CTA's stripe.
+
+use caps_gpu_sim::isa::ProgramBuilder;
+use caps_gpu_sim::kernel::Kernel;
+
+use crate::dsl::{broadcast, linear_at};
+use crate::suite::WorkloadInfo;
+use crate::Scale;
+
+pub(crate) fn info() -> WorkloadInfo {
+    WorkloadInfo {
+        abbr: "JC1",
+        name: "jacobi1D",
+        suite: "Polybench/GPU",
+        irregular: false,
+        looped_loads: 0,
+        total_loads: 4,
+        top4_iters: [1.0, 1.0, 1.0, 1.0],
+    }
+}
+
+pub(crate) fn kernel(scale: Scale) -> Kernel {
+    let ctas = scale.ctas(256);
+    let cta_pitch = 8 * 128; // 8 warps × one 128 B line each
+    let prog = ProgramBuilder::new()
+        .ld(linear_at(0, 0, cta_pitch, 128)) // A[i]
+        .ld(linear_at(0, -4, cta_pitch, 128)) // A[i-1]
+        .ld(linear_at(0, 4, cta_pitch, 128)) // A[i+1]
+        .ld(broadcast(2)) // relaxation coefficients
+        .wait()
+        .alu(24)
+        .st(linear_at(1, 0, cta_pitch, 128))
+        .build();
+    Kernel::new("JC1", (ctas, 1), 256, prog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caps_gpu_sim::coalescer::coalesce;
+    use caps_gpu_sim::isa::Op;
+    use caps_gpu_sim::types::CtaCoord;
+
+    #[test]
+    fn four_loads_no_loops() {
+        let k = kernel(Scale::Full);
+        let loads = k.program.static_loads();
+        assert_eq!(loads.len(), 4);
+        assert!(loads.iter().all(|(_, _, l)| !l));
+    }
+
+    #[test]
+    fn neighbour_loads_share_the_centre_line() {
+        let k = kernel(Scale::Full);
+        let Op::Ld {
+            pattern: centre, ..
+        } = k.program.op(0)
+        else {
+            panic!()
+        };
+        let Op::Ld { pattern: left, .. } = k.program.op(1) else {
+            panic!()
+        };
+        let cta = CtaCoord::from_linear(5, 64);
+        let mut lc = Vec::new();
+        let mut ll = Vec::new();
+        coalesce(&centre, cta, 3, 0, 32, 128, &mut lc);
+        coalesce(&left, cta, 3, 0, 32, 128, &mut ll);
+        assert!(ll.contains(&lc[0]), "A[i-1] touches A[i]'s line");
+    }
+}

@@ -1,0 +1,87 @@
+//! # caps-workloads — the 16-benchmark evaluation suite (Table IV)
+//!
+//! Synthetic kernels mirroring the memory behaviour of the paper's
+//! workloads. The real benchmarks are CUDA/OpenCL binaries; what CAPS and
+//! the baseline prefetchers react to is the *structure of their load
+//! address streams* and issue interleavings — which §IV decomposes into
+//! per-CTA bases θ, a kernel-wide warp stride Δ, per-lane pitch, loop
+//! strides, and data-dependent indirect streams. Each module here encodes
+//! one benchmark's published characteristics:
+//!
+//! * grid geometry and warps per CTA;
+//! * the static load count and how many sit in loops, with the loop trip
+//!   counts of the most frequent loads (Fig. 4);
+//! * strided (affine) vs. indirect access classes (PVR/CCL/BFS/KM carry
+//!   indirect graph-style loads, §VI-A);
+//! * compute intensity and store traffic.
+//!
+//! Kernels materialize at two scales: [`Scale::Full`] for
+//! figure regeneration and [`Scale::Small`] for fast tests.
+
+#![warn(missing_docs)]
+
+pub mod dsl;
+pub mod suite;
+
+mod bfs;
+mod bpr;
+mod ccl;
+mod cnv;
+mod cp;
+mod fft;
+mod hsp;
+mod hst;
+mod jc1;
+mod km;
+mod lps;
+mod mm;
+mod mrq;
+mod pvr;
+mod scn;
+mod ste;
+
+pub use suite::{all_workloads, irregular_workloads, regular_workloads, Workload, WorkloadInfo};
+
+/// Kernel sizing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Paper-scale grids (figure regeneration).
+    Full,
+    /// Small grids for unit/integration tests.
+    Small,
+}
+
+impl Scale {
+    /// Scale a full-size CTA count down for tests.
+    #[inline]
+    pub fn ctas(self, full: u32) -> u32 {
+        match self {
+            Scale::Full => full,
+            Scale::Small => (full / 8).max(4),
+        }
+    }
+
+    /// Scale a loop trip count down for tests.
+    #[inline]
+    pub fn iters(self, full: u32) -> u32 {
+        match self {
+            Scale::Full => full,
+            Scale::Small => (full / 8).max(2),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_shrinks_but_never_to_zero() {
+        assert_eq!(Scale::Full.ctas(192), 192);
+        assert_eq!(Scale::Small.ctas(192), 24);
+        assert_eq!(Scale::Small.ctas(8), 4);
+        assert_eq!(Scale::Full.iters(99), 99);
+        assert_eq!(Scale::Small.iters(99), 12);
+        assert_eq!(Scale::Small.iters(3), 2);
+    }
+}

@@ -1,0 +1,65 @@
+//! MM — MatrixMul (CUDA SDK).
+//!
+//! Tiled dense matrix multiply: both static loads (A-tile and B-tile)
+//! sit in the 33-iteration tile loop (Fig. 4: 2/2). Eight warps per CTA
+//! — the geometry behind Fig. 1, where inter-warp prefetching collapses
+//! at warp distance 7→8 because every prediction crosses a CTA boundary.
+
+use caps_gpu_sim::isa::ProgramBuilder;
+use caps_gpu_sim::kernel::Kernel;
+
+use crate::dsl::surface_loop;
+use crate::suite::WorkloadInfo;
+use crate::Scale;
+
+/// Matrix row width in bytes: 33 tiles × 32 floats.
+const WIDTH: i64 = 33 * 32 * 4;
+/// Tile edge in bytes.
+const TILE: i64 = 32 * 4;
+
+pub(crate) fn info() -> WorkloadInfo {
+    WorkloadInfo {
+        abbr: "MM",
+        name: "MatrixMul",
+        suite: "CUDA SDK",
+        irregular: false,
+        looped_loads: 2,
+        total_loads: 2,
+        top4_iters: [33.0, 33.0, 0.0, 0.0],
+    }
+}
+
+pub(crate) fn kernel(scale: Scale) -> Kernel {
+    let side = match scale {
+        Scale::Full => 16,
+        Scale::Small => 4,
+    };
+    let iters = scale.iters(33);
+    let prog = ProgramBuilder::new()
+        .begin_loop(iters)
+        // A[row, k·TILE..]: θ depends on cta.y, loop marches along k.
+        .ld(surface_loop(0, 0, WIDTH * 8, WIDTH, TILE))
+        // B[k·TILE.., col]: θ depends on cta.x, loop marches down rows.
+        .ld(surface_loop(1, TILE, 0, WIDTH, TILE * 32))
+        .wait()
+        .alu(24) // tile MAC chain
+        .barrier()
+        .end_loop()
+        .st(surface_loop(2, TILE, WIDTH * 8, WIDTH, 0))
+        .build();
+    Kernel::new("MM", (side, side), 256, prog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_loads_in_the_tile_loop() {
+        let k = kernel(Scale::Full);
+        let loads = k.program.static_loads();
+        assert_eq!(loads.len(), 2);
+        assert!(loads.iter().all(|(_, it, l)| *l && *it == 33));
+        assert_eq!(k.warps_per_cta(32), 8, "Fig. 1 geometry: 8 warps per CTA");
+    }
+}

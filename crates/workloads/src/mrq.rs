@@ -1,0 +1,59 @@
+//! MRQ — mri-q (Parboil).
+//!
+//! MRI reconstruction Q-matrix computation: the k-space trajectory
+//! arrays (kx/ky/kz/phi) are shared by every CTA and become L2-hot;
+//! three sample arrays stream privately. Heavy trigonometric arithmetic
+//! follows — compute-bound, so prefetch gains stay small.
+
+use caps_gpu_sim::isa::ProgramBuilder;
+use caps_gpu_sim::kernel::Kernel;
+
+use crate::dsl::{linear, linear_at};
+use crate::suite::WorkloadInfo;
+use crate::Scale;
+
+pub(crate) fn info() -> WorkloadInfo {
+    WorkloadInfo {
+        abbr: "MRQ",
+        name: "mri-q",
+        suite: "Parboil",
+        irregular: false,
+        looped_loads: 0,
+        total_loads: 7,
+        top4_iters: [1.0, 1.0, 1.0, 1.0],
+    }
+}
+
+pub(crate) fn kernel(scale: Scale) -> Kernel {
+    let ctas = scale.ctas(256);
+    let cta_pitch = 8 * 128;
+    let mut b = ProgramBuilder::new();
+    // Private sample streams.
+    for arr in 0..3u32 {
+        b = b.ld(linear(arr, cta_pitch, 128));
+    }
+    // Shared k-space trajectory (identical addresses in every CTA).
+    for arr in 4..8u32 {
+        b = b.ld(linear_at(arr, 0, 0, 128));
+    }
+    let prog = b
+        .wait()
+        .alu(60) // sin/cos accumulation
+        .alu(60)
+        .st(linear(8, cta_pitch, 128))
+        .build();
+    Kernel::new("MRQ", (ctas, 1), 256, prog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seven_loads_no_loops() {
+        let k = kernel(Scale::Full);
+        let loads = k.program.static_loads();
+        assert_eq!(loads.len(), 7);
+        assert!(loads.iter().all(|(_, _, l)| !l));
+    }
+}

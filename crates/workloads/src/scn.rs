@@ -1,0 +1,59 @@
+//! SCN — scan (CUDA SDK).
+//!
+//! Work-efficient prefix sum: one strided load, a barrier-synchronized
+//! reduction phase (modelled as ALU work between CTA barriers), one
+//! store. The single static load (Fig. 4: 0/1) gives prefetchers little
+//! surface; gains are small for every scheme.
+
+use caps_gpu_sim::isa::ProgramBuilder;
+use caps_gpu_sim::kernel::Kernel;
+
+use crate::dsl::linear;
+use crate::suite::WorkloadInfo;
+use crate::Scale;
+
+pub(crate) fn info() -> WorkloadInfo {
+    WorkloadInfo {
+        abbr: "SCN",
+        name: "scan",
+        suite: "CUDA SDK",
+        irregular: false,
+        looped_loads: 0,
+        total_loads: 1,
+        top4_iters: [1.0, 0.0, 0.0, 0.0],
+    }
+}
+
+pub(crate) fn kernel(scale: Scale) -> Kernel {
+    let ctas = scale.ctas(192);
+    let cta_pitch = 8 * 128;
+    let prog = ProgramBuilder::new()
+        .ld(linear(0, cta_pitch, 128))
+        .wait()
+        .alu(20) // up-sweep
+        .barrier()
+        .alu(20) // down-sweep
+        .barrier()
+        .st(linear(1, cta_pitch, 128))
+        .build();
+    Kernel::new("SCN", (ctas, 1), 256, prog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caps_gpu_sim::isa::Op;
+
+    #[test]
+    fn single_load_with_barriers() {
+        let k = kernel(Scale::Full);
+        assert_eq!(k.program.static_loads().len(), 1);
+        let barriers = k
+            .program
+            .ops()
+            .iter()
+            .filter(|op| matches!(op, Op::Barrier))
+            .count();
+        assert_eq!(barriers, 2);
+    }
+}

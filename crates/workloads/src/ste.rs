@@ -1,0 +1,82 @@
+//! STE — stencil (Parboil).
+//!
+//! 7-point 3-D stencil sweeping z in a 62-iteration loop. Eight of the
+//! twelve static loads sit in the loop body (Fig. 4), all taps of the
+//! *same* input volume: row neighbours reuse lines fetched by adjacent
+//! warps, and the z−1 plane is the previous iteration's z plane.
+
+use caps_gpu_sim::isa::ProgramBuilder;
+use caps_gpu_sim::kernel::Kernel;
+
+use crate::dsl::{surface_at, surface_loop_at};
+use crate::suite::WorkloadInfo;
+use crate::Scale;
+
+const ROW: i64 = 16 * 32 * 4;
+
+pub(crate) fn info() -> WorkloadInfo {
+    WorkloadInfo {
+        abbr: "STE",
+        name: "stencil",
+        suite: "Parboil",
+        irregular: false,
+        looped_loads: 8,
+        total_loads: 12,
+        top4_iters: [62.0, 62.0, 62.0, 62.0],
+    }
+}
+
+pub(crate) fn kernel(scale: Scale) -> Kernel {
+    let (gx, gy) = match scale {
+        Scale::Full => (16, 12),
+        Scale::Small => (4, 4),
+    };
+    let iters = scale.iters(62);
+    let x_pitch = 32 * 4;
+    let y_pitch = ROW * 4;
+    let mut b = ProgramBuilder::new();
+    // Four boundary-condition loads outside the loop (second array).
+    for off in 0..4i64 {
+        b = b.ld(surface_at(1, off * ROW, x_pitch, y_pitch, ROW));
+    }
+    b = b.wait().alu(12).begin_loop(iters);
+    // Eight taps of the input volume per z-plane: fresh plane centre,
+    // row neighbours (warp-overlapping), column neighbours (same line),
+    // and the z−1 plane re-read (previous iteration's fetch).
+    for &off in &[
+        ROW,     // band z centre (fresh)
+        ROW - 4, // z, col −1 (same line)
+        ROW + 4, // z, col +1 (same line)
+        2 * ROW, // z, row +1 (overlaps warp w+1)
+        0,       // z−1 centre (last iteration's band)
+        -4,      // z−1 col −1
+        4,       // z−1 col +1
+        -(ROW),  // z−2 row (still warm)
+    ] {
+        b = b.ld(surface_loop_at(0, off, x_pitch, y_pitch, ROW, ROW));
+        if off == 2 * ROW {
+            b = b.wait().alu(16);
+        }
+    }
+    let prog = b
+        .wait()
+        .alu(30)
+        .st(surface_loop_at(5, 0, x_pitch, y_pitch, ROW, ROW))
+        .end_loop()
+        .build();
+    Kernel::new("STE", (gx, gy), 128, prog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_shape() {
+        let k = kernel(Scale::Full);
+        let loads = k.program.static_loads();
+        assert_eq!(loads.len(), 12);
+        assert_eq!(loads.iter().filter(|(_, _, l)| *l).count(), 8);
+        assert!(loads.iter().any(|&(_, it, _)| it == 62));
+    }
+}

@@ -1,0 +1,286 @@
+//! The workload registry (Table IV).
+
+use caps_gpu_sim::kernel::Kernel;
+
+use crate::Scale;
+
+/// The 16 benchmarks of the evaluation (Table IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Workload {
+    /// Coulombic Potential (CUDA SDK / Parboil lineage).
+    Cp,
+    /// laplace3D (GPGPU-Sim suite).
+    Lps,
+    /// backprop (Rodinia).
+    Bpr,
+    /// hotspot (Rodinia).
+    Hsp,
+    /// mri-q (Parboil).
+    Mrq,
+    /// stencil (Parboil).
+    Ste,
+    /// convolutionSeparable (CUDA SDK).
+    Cnv,
+    /// histogram (CUDA SDK).
+    Hst,
+    /// jacobi1D (Polybench/GPU).
+    Jc1,
+    /// FFT (SHOC).
+    Fft,
+    /// scan (CUDA SDK).
+    Scn,
+    /// MatrixMul (CUDA SDK).
+    Mm,
+    /// PageViewRank (Mars).
+    Pvr,
+    /// Connected Component Labelling.
+    Ccl,
+    /// Breadth First Search (Rodinia).
+    Bfs,
+    /// Kmeans (Mars/Rodinia).
+    Km,
+}
+
+/// Static description of one workload: Table IV identity plus the Fig. 4
+/// characterization (repeated/total static loads and the mean loop trip
+/// counts of the four most frequent loads).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadInfo {
+    /// Paper abbreviation (x-axis label).
+    pub abbr: &'static str,
+    /// Full benchmark name.
+    pub name: &'static str,
+    /// Source suite.
+    pub suite: &'static str,
+    /// One of the four irregular (graph-style) applications.
+    pub irregular: bool,
+    /// Static loads inside loop bodies (numerator under Fig. 4 bars).
+    pub looped_loads: u32,
+    /// Total static loads by PC (denominator under Fig. 4 bars).
+    pub total_loads: u32,
+    /// Mean iteration counts of the four most frequently executed loads.
+    pub top4_iters: [f32; 4],
+}
+
+impl Workload {
+    /// Registry order matches the paper's figure x-axes: 12 regular
+    /// benchmarks, then the 4 irregular ones.
+    pub const ALL: [Workload; 16] = [
+        Workload::Cp,
+        Workload::Lps,
+        Workload::Bpr,
+        Workload::Hsp,
+        Workload::Mrq,
+        Workload::Ste,
+        Workload::Cnv,
+        Workload::Hst,
+        Workload::Jc1,
+        Workload::Fft,
+        Workload::Scn,
+        Workload::Mm,
+        Workload::Pvr,
+        Workload::Ccl,
+        Workload::Bfs,
+        Workload::Km,
+    ];
+
+    /// Static description.
+    pub fn info(self) -> WorkloadInfo {
+        match self {
+            Workload::Cp => crate::cp::info(),
+            Workload::Lps => crate::lps::info(),
+            Workload::Bpr => crate::bpr::info(),
+            Workload::Hsp => crate::hsp::info(),
+            Workload::Mrq => crate::mrq::info(),
+            Workload::Ste => crate::ste::info(),
+            Workload::Cnv => crate::cnv::info(),
+            Workload::Hst => crate::hst::info(),
+            Workload::Jc1 => crate::jc1::info(),
+            Workload::Fft => crate::fft::info(),
+            Workload::Scn => crate::scn::info(),
+            Workload::Mm => crate::mm::info(),
+            Workload::Pvr => crate::pvr::info(),
+            Workload::Ccl => crate::ccl::info(),
+            Workload::Bfs => crate::bfs::info(),
+            Workload::Km => crate::km::info(),
+        }
+    }
+
+    /// Materialize the kernel at `scale`.
+    pub fn kernel(self, scale: Scale) -> Kernel {
+        match self {
+            Workload::Cp => crate::cp::kernel(scale),
+            Workload::Lps => crate::lps::kernel(scale),
+            Workload::Bpr => crate::bpr::kernel(scale),
+            Workload::Hsp => crate::hsp::kernel(scale),
+            Workload::Mrq => crate::mrq::kernel(scale),
+            Workload::Ste => crate::ste::kernel(scale),
+            Workload::Cnv => crate::cnv::kernel(scale),
+            Workload::Hst => crate::hst::kernel(scale),
+            Workload::Jc1 => crate::jc1::kernel(scale),
+            Workload::Fft => crate::fft::kernel(scale),
+            Workload::Scn => crate::scn::kernel(scale),
+            Workload::Mm => crate::mm::kernel(scale),
+            Workload::Pvr => crate::pvr::kernel(scale),
+            Workload::Ccl => crate::ccl::kernel(scale),
+            Workload::Bfs => crate::bfs::kernel(scale),
+            Workload::Km => crate::km::kernel(scale),
+        }
+    }
+
+    /// Paper abbreviation.
+    pub fn abbr(self) -> &'static str {
+        self.info().abbr
+    }
+
+    /// Back-to-back kernel launches simulated per run. The paper runs
+    /// whole applications; iterative benchmarks (relaxations, stencil
+    /// time steps, frontier sweeps, clustering epochs) relaunch their
+    /// kernel many times with a warm L2, which is where most of their
+    /// L2 locality comes from.
+    pub fn launches(self) -> u32 {
+        match self {
+            // Iterative solvers / sweeps: several warm relaunches.
+            Workload::Jc1 | Workload::Hsp | Workload::Bfs | Workload::Km => 4,
+            Workload::Cnv | Workload::Scn | Workload::Hst => 3,
+            Workload::Bpr | Workload::Ccl | Workload::Pvr => 2,
+            // Single long kernels (the z-loop/tile-loop is in-kernel).
+            Workload::Lps | Workload::Ste | Workload::Mm => 1,
+            Workload::Cp | Workload::Mrq | Workload::Fft => 2,
+        }
+    }
+}
+
+/// All 16 workloads in figure order.
+pub fn all_workloads() -> Vec<Workload> {
+    Workload::ALL.to_vec()
+}
+
+/// The 12 regular workloads.
+pub fn regular_workloads() -> Vec<Workload> {
+    Workload::ALL
+        .iter()
+        .copied()
+        .filter(|w| !w.info().irregular)
+        .collect()
+}
+
+/// The 4 irregular (graph-style) workloads.
+pub fn irregular_workloads() -> Vec<Workload> {
+    Workload::ALL
+        .iter()
+        .copied()
+        .filter(|w| w.info().irregular)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iv_has_sixteen_workloads() {
+        assert_eq!(Workload::ALL.len(), 16);
+        assert_eq!(regular_workloads().len(), 12);
+        assert_eq!(irregular_workloads().len(), 4);
+    }
+
+    #[test]
+    fn abbreviations_match_table_iv() {
+        let abbrs: Vec<_> = all_workloads().iter().map(|w| w.abbr()).collect();
+        assert_eq!(
+            abbrs,
+            vec![
+                "CP", "LPS", "BPR", "HSP", "MRQ", "STE", "CNV", "HST", "JC1", "FFT", "SCN", "MM",
+                "PVR", "CCL", "BFS", "KM"
+            ]
+        );
+    }
+
+    #[test]
+    fn irregular_set_matches_paper() {
+        let irr: Vec<_> = irregular_workloads().iter().map(|w| w.abbr()).collect();
+        assert_eq!(irr, vec!["PVR", "CCL", "BFS", "KM"]);
+    }
+
+    #[test]
+    fn every_kernel_validates_at_both_scales() {
+        for w in all_workloads() {
+            for scale in [Scale::Full, Scale::Small] {
+                let k = w.kernel(scale);
+                assert!(k.validate().is_ok(), "{} invalid at {scale:?}", w.abbr());
+                assert!(k.num_ctas() >= 4);
+                assert!(k.warps_per_cta(32) >= 2, "{}", w.abbr());
+            }
+        }
+    }
+
+    #[test]
+    fn fig4_ratios_match_paper_annotations() {
+        // "repeated loads / total loads (by PC)" under Fig. 4.
+        let expect = [
+            ("CP", 0, 2),
+            ("LPS", 2, 4),
+            ("BPR", 0, 14),
+            ("HSP", 0, 2),
+            ("MRQ", 0, 7),
+            ("STE", 8, 12),
+            ("CNV", 0, 10),
+            ("HST", 1, 1),
+            ("JC1", 0, 4),
+            ("FFT", 0, 16),
+            ("SCN", 0, 1),
+            ("MM", 2, 2),
+            ("PVR", 4, 32),
+            ("CCL", 1, 22),
+            ("BFS", 5, 9),
+            ("KM", 10, 144),
+        ];
+        for (abbr, looped, total) in expect {
+            let w = all_workloads()
+                .into_iter()
+                .find(|w| w.abbr() == abbr)
+                .unwrap();
+            let info = w.info();
+            assert_eq!(info.looped_loads, looped, "{abbr}");
+            assert_eq!(info.total_loads, total, "{abbr}");
+        }
+    }
+
+    #[test]
+    fn looped_kernels_contain_loops_in_ir() {
+        for w in all_workloads() {
+            let info = w.info();
+            let k = w.kernel(Scale::Full);
+            let loads = k.program.static_loads();
+            let looped_in_ir = loads.iter().filter(|(_, _, in_loop)| *in_loop).count();
+            if info.looped_loads > 0 {
+                assert!(
+                    looped_in_ir > 0,
+                    "{} declares loops but IR has none",
+                    info.abbr
+                );
+            } else {
+                assert_eq!(looped_in_ir, 0, "{} declares no loops", info.abbr);
+            }
+        }
+    }
+
+    #[test]
+    fn irregular_kernels_carry_indirect_loads() {
+        use caps_gpu_sim::isa::Op;
+        for w in all_workloads() {
+            let k = w.kernel(Scale::Full);
+            let has_indirect = k.program.ops().iter().any(|op| match op {
+                Op::Ld { pattern, .. } => !pattern.is_affine(),
+                _ => false,
+            });
+            assert_eq!(
+                has_indirect,
+                w.info().irregular,
+                "{}: indirect loads should appear iff irregular",
+                w.abbr()
+            );
+        }
+    }
+}

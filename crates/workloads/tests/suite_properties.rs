@@ -1,0 +1,136 @@
+//! Suite-wide properties: every benchmark's affine loads must satisfy
+//! the §IV decomposition CAP relies on, at any CTA and scale.
+
+use caps_gpu_sim::coalescer::coalesce;
+use caps_gpu_sim::isa::Op;
+use caps_workloads::{all_workloads, Scale, Workload};
+use proptest::prelude::*;
+
+fn workload_strategy() -> impl Strategy<Value = Workload> {
+    prop::sample::select(all_workloads())
+}
+
+proptest! {
+    /// The warp stride of every affine load is identical in every CTA of
+    /// the kernel — the paper's central premise (§IV), checked across
+    /// the whole suite for arbitrary CTAs.
+    #[test]
+    fn warp_stride_is_kernel_wide(w in workload_strategy(), c1 in 0u32..64, c2 in 0u32..64) {
+        let k = w.kernel(Scale::Full);
+        let n = k.num_ctas();
+        let (a, b) = (c1 % n, c2 % n);
+        for op in k.program.ops() {
+            if let Op::Ld { pattern, .. } = op {
+                if !pattern.is_affine() {
+                    continue;
+                }
+                let ca = k.cta_coord(a);
+                let cb = k.cta_coord(b);
+                let d_a = pattern.addr(ca, 1, 0, 0) as i64 - pattern.addr(ca, 0, 0, 0) as i64;
+                let d_b = pattern.addr(cb, 1, 0, 0) as i64 - pattern.addr(cb, 0, 0, 0) as i64;
+                prop_assert_eq!(d_a, d_b, "{}: warp stride differs across CTAs", w.abbr());
+            }
+        }
+    }
+
+    /// Every load of every benchmark coalesces into a bounded number of
+    /// valid lines for every warp of every CTA.
+    #[test]
+    fn every_load_coalesces_cleanly(
+        w in workload_strategy(),
+        cta in 0u32..256,
+        warp in 0u32..8,
+        iter in 0u32..4,
+    ) {
+        let k = w.kernel(Scale::Small);
+        let cta = k.cta_coord(cta % k.num_ctas());
+        let warp = warp % k.warps_per_cta(32);
+        let mut lines = Vec::new();
+        for op in k.program.ops() {
+            if let Op::Ld { pattern, active_lanes, .. } = op {
+                coalesce(pattern, cta, warp, iter, *active_lanes, 128, &mut lines);
+                prop_assert!(!lines.is_empty());
+                prop_assert!(lines.len() <= 32);
+                for &l in &lines {
+                    prop_assert_eq!(l % 128, 0);
+                }
+            }
+        }
+    }
+
+    /// Address patterns never alias across distinct array regions:
+    /// loads and stores of different arrays stay 16 MiB apart.
+    #[test]
+    fn regions_do_not_alias(w in workload_strategy(), cta in 0u32..64, warp in 0u32..8) {
+        let k = w.kernel(Scale::Full);
+        let cta = k.cta_coord(cta % k.num_ctas());
+        let warp = warp % k.warps_per_cta(32);
+        let mut by_region: std::collections::HashMap<u64, &'static str> = Default::default();
+        for op in k.program.ops() {
+            let (pattern, what) = match op {
+                Op::Ld { pattern, .. } => (pattern, "load"),
+                Op::St { pattern, .. } => (pattern, "store"),
+                _ => continue,
+            };
+            if !pattern.is_affine() {
+                continue;
+            }
+            let a = pattern.addr(cta, warp, 0, 0);
+            let region = a >> 24;
+            by_region.entry(region).or_insert(what);
+            // A region is 16 MiB: all addresses of this op must stay in
+            // one or two adjacent regions (offsets may cross one edge).
+            let a_last = pattern.addr(cta, warp, 31, 3);
+            prop_assert!((a_last >> 24) - region <= 1, "{}: op spans regions", w.abbr());
+        }
+    }
+}
+
+#[test]
+fn small_scale_kernels_are_strictly_smaller() {
+    for w in all_workloads() {
+        let full = w.kernel(Scale::Full);
+        let small = w.kernel(Scale::Small);
+        assert!(
+            small.num_ctas() <= full.num_ctas(),
+            "{}: small scale must not exceed full",
+            w.abbr()
+        );
+    }
+}
+
+#[test]
+fn bfs_frontier_divergence_reduces_dynamic_loads() {
+    // The SkipIf predicate makes only ~half the warps expand edges: the
+    // dynamic load count must be well below the undiverged bound.
+    use caps_gpu_sim::config::GpuConfig;
+    use caps_gpu_sim::gpu::Gpu;
+    use caps_gpu_sim::prefetch::null_factory;
+    let k = Workload::Bfs.kernel(Scale::Small);
+    let warps = k.total_warps(32);
+    let stats = Gpu::new(GpuConfig::test_small(), k, &*null_factory()).run(10_000_000);
+    // Undiverged: every warp would issue 4 metadata + 2·3 loop loads…
+    let undiverged_min = warps * (4 + 3 * 2);
+    assert!(
+        stats.warp_instructions > 0 && stats.l1d_demand_accesses > 0,
+        "kernel ran"
+    );
+    assert!(
+        stats.l1d_demand_accesses < undiverged_min * 4,
+        "sanity bound"
+    );
+    // The loop body's loads must be visibly sparser than all-warps-taken.
+    let per_warp = stats.l1d_demand_accesses as f64 / warps as f64;
+    assert!(
+        per_warp < 30.0,
+        "diverged BFS should average few line requests per warp, got {per_warp:.1}"
+    );
+}
+
+#[test]
+fn launch_counts_are_sane() {
+    for w in all_workloads() {
+        let l = w.launches();
+        assert!((1..=8).contains(&l), "{}: {l} launches", w.abbr());
+    }
+}

@@ -1,0 +1,114 @@
+//! Author a kernel in the IR, run it under CAPS, and inspect what the
+//! CTA-aware prefetcher learned — the PerCTA/DIST mechanics of §V made
+//! visible.
+//!
+//! ```text
+//! cargo run --release --example custom_kernel
+//! ```
+
+use caps::core::{CapConfig, CtaAwarePrefetcher};
+use caps::prelude::*;
+use caps::sim::prefetch::Prefetcher;
+
+fn main() {
+    // A 2-D kernel in the image of Fig. 6a: the base address mixes
+    // blockIdx.x and blockIdx.y with different pitches, each warp strides
+    // by one grid row, each lane by 4 bytes.
+    let row = 64 * 32 * 4; // 64 CTAs across, 32 lanes, 4 B
+    let pattern = AddrPattern::Affine(AffinePattern {
+        base: 0x1000_0000,
+        cta_term: CtaTerm::Surface2D {
+            x_pitch: 32 * 4,
+            y_pitch: row * 4,
+        },
+        warp_stride: row,
+        lane_stride: 4,
+        iter_stride: 0,
+    });
+    let out = AddrPattern::Affine(AffinePattern {
+        base: 0x3000_0000,
+        cta_term: CtaTerm::Surface2D {
+            x_pitch: 32 * 4,
+            y_pitch: row * 4,
+        },
+        warp_stride: row,
+        lane_stride: 4,
+        iter_stride: 0,
+    });
+    let program = ProgramBuilder::new()
+        .ld(pattern)
+        .wait()
+        .alu(24)
+        .st(out)
+        .build();
+    let kernel = Kernel::new("custom-2d", (64, 4), 128, program);
+    println!(
+        "kernel: {} CTAs × {} warps, {} static instructions",
+        kernel.num_ctas(),
+        kernel.warps_per_cta(32),
+        kernel.program.len()
+    );
+
+    // Run it under CAP + PAS.
+    let cfg = caps_config(&GpuConfig::fermi_gtx480());
+    let mut gpu = Gpu::new(cfg, kernel, &*caps_factory());
+    let stats = gpu.run_to_completion();
+    println!("\ncycles: {}   IPC: {:.3}", stats.cycles, stats.ipc());
+    println!(
+        "prefetches: issued {}  useful {}  late {}  accuracy {:.1}%",
+        stats.prefetch_issued,
+        stats.prefetch_useful,
+        stats.prefetch_late,
+        stats.accuracy() * 100.0
+    );
+
+    // Drive a standalone CAP engine by hand to show the table mechanics
+    // of Fig. 9: leading warps register bases, the first trailing warp
+    // reveals the stride, prefetches fire for everyone else.
+    println!("\n--- standalone CAP table walk (Fig. 9) ---");
+    let mut cap = CtaAwarePrefetcher::with_config(CapConfig::default());
+    let mut requests = Vec::new();
+    let grid_x = 64;
+    for (slot, linear) in [(0usize, 0u32), (1, 15), (2, 30)] {
+        cap.on_cta_launch(slot, CtaCoord::from_linear(linear, grid_x));
+    }
+    let observe = |cap: &mut CtaAwarePrefetcher,
+                   requests: &mut Vec<PrefetchRequest>,
+                   slot: usize,
+                   linear: u32,
+                   warp: u32,
+                   addr: Addr| {
+        let lines = [addr];
+        let obs = DemandObservation {
+            cycle: 0,
+            pc: 8,
+            cta_slot: slot,
+            cta: CtaCoord::from_linear(linear, grid_x),
+            warp_in_cta: warp,
+            warp_slot: slot * 4 + warp as usize,
+            warps_per_cta: 4,
+            lines: &lines,
+            is_affine: true,
+            iter: 0,
+        };
+        cap.on_demand(&obs, requests);
+    };
+    // Three leading warps register three CTA bases…
+    observe(&mut cap, &mut requests, 0, 0, 0, 0x1000_0000);
+    observe(&mut cap, &mut requests, 1, 15, 0, 0x1008_0000);
+    observe(&mut cap, &mut requests, 2, 30, 0, 0x1010_0000);
+    println!(
+        "after leading warps: {} prefetches (no stride yet)",
+        requests.len()
+    );
+    // …then one trailing warp reveals Δ and prefetches fire everywhere.
+    observe(&mut cap, &mut requests, 0, 0, 1, 0x1000_0000 + row as u64);
+    println!(
+        "after first trailing warp: stride {:?} detected, {} prefetches:",
+        cap.dist().stride(8),
+        requests.len()
+    );
+    for r in &requests {
+        println!("  line {:#x} for warp slot {:?}", r.line, r.target_warp);
+    }
+}

@@ -1,0 +1,56 @@
+//! Compare every prefetcher configuration of the paper's evaluation on
+//! one benchmark (default MM; pass an abbreviation to pick another).
+//!
+//! ```text
+//! cargo run --release --example prefetcher_shootout -- CNV
+//! ```
+
+use caps::prelude::*;
+
+fn main() {
+    let want = std::env::args().nth(1).unwrap_or_else(|| "MM".to_string());
+    let workload = all_workloads()
+        .into_iter()
+        .find(|w| w.abbr().eq_ignore_ascii_case(&want))
+        .unwrap_or_else(|| {
+            eprintln!("unknown benchmark {want:?}; expected one of:");
+            for w in all_workloads() {
+                eprintln!("  {}", w.abbr());
+            }
+            std::process::exit(2);
+        });
+    println!(
+        "benchmark: {} ({})\n",
+        workload.info().name,
+        workload.abbr()
+    );
+
+    let mut engines = vec![Engine::Baseline];
+    engines.extend(Engine::FIGURE10);
+    let specs: Vec<RunSpec> = engines
+        .iter()
+        .map(|&e| RunSpec::paper(workload, e))
+        .collect();
+    let records = run_matrix(&specs);
+    let base_ipc = records[0].ipc();
+
+    let mut t = Table::new(&[
+        "engine",
+        "norm. IPC",
+        "coverage",
+        "accuracy",
+        "early",
+        "distance",
+    ]);
+    for r in &records[1..] {
+        t.row(vec![
+            r.engine.clone(),
+            format!("{:.3}", r.ipc() / base_ipc),
+            format!("{:.1}%", r.stats.coverage() * 100.0),
+            format!("{:.1}%", r.stats.accuracy() * 100.0),
+            format!("{:.1}%", r.stats.early_prefetch_ratio() * 100.0),
+            format!("{:.0} cy", r.stats.mean_prefetch_distance()),
+        ]);
+    }
+    println!("{}", t.render());
+}

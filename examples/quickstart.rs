@@ -1,0 +1,48 @@
+//! Quickstart: run one benchmark under the baseline two-level scheduler
+//! and under CAPS, and compare.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use caps::prelude::*;
+
+fn main() {
+    // Pick the paper's running example: laplace3D (Fig. 6a).
+    let workload = Workload::Lps;
+    println!("benchmark: {} ({})", workload.info().name, workload.abbr());
+
+    let base = run_one(&RunSpec::paper(workload, Engine::Baseline));
+    let caps = run_one(&RunSpec::paper(workload, Engine::Caps));
+
+    println!("\n                     {:>12} {:>12}", "baseline", "CAPS");
+    println!(
+        "cycles               {:>12} {:>12}",
+        base.stats.cycles, caps.stats.cycles
+    );
+    println!(
+        "IPC                  {:>12.3} {:>12.3}",
+        base.ipc(),
+        caps.ipc()
+    );
+    println!(
+        "L1D miss rate        {:>11.1}% {:>11.1}%",
+        base.stats.l1d_miss_rate() * 100.0,
+        caps.stats.l1d_miss_rate() * 100.0
+    );
+    println!(
+        "prefetches issued    {:>12} {:>12}",
+        base.stats.prefetch_issued, caps.stats.prefetch_issued
+    );
+    println!(
+        "prefetch accuracy    {:>11.1}% {:>11.1}%",
+        base.stats.accuracy() * 100.0,
+        caps.stats.accuracy() * 100.0
+    );
+    println!(
+        "prefetch distance    {:>9.0} cy {:>9.0} cy",
+        base.stats.mean_prefetch_distance(),
+        caps.stats.mean_prefetch_distance()
+    );
+    println!("\nspeedup: {:.3}×", caps.ipc() / base.ipc());
+}

@@ -1,0 +1,42 @@
+//! # caps — CTA-Aware Prefetching and Scheduling for GPUs
+//!
+//! A full reproduction of Koo, Jeon, Liu, Kim & Annavaram, *CTA-Aware
+//! Prefetching and Scheduling for GPU* (IEEE IPDPS 2018), built on a
+//! from-scratch cycle-level GPU simulator. This facade crate re-exports
+//! the whole workspace:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`sim`] | the Fermi-class GPU microarchitecture simulator (SMs, warp schedulers, coalescer, caches + MSHRs, crossbar, FR-FCFS GDDR5 DRAM) |
+//! | [`core`] | the paper's contribution: the CTA-Aware Prefetcher (PerCTA + DIST tables) and Prefetch-Aware Scheduler |
+//! | [`prefetchers`] | the comparison engines: INTRA, INTER, MTA, NLP, LAP, ORCH |
+//! | [`workloads`] | the 16-benchmark synthetic suite (Table IV) |
+//! | [`metrics`] | parallel experiment harness, energy model, reporting |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use caps::prelude::*;
+//!
+//! // Run convolutionSeparable under CAPS and under the baseline.
+//! let base = run_one(&RunSpec::small(Workload::Cnv, Engine::Baseline));
+//! let caps = run_one(&RunSpec::small(Workload::Cnv, Engine::Caps));
+//! assert!(caps.stats.prefetch_issued > 0);
+//! println!("speedup: {:.3}", caps.ipc() / base.ipc());
+//! ```
+
+#![warn(missing_docs)]
+
+pub use caps_core as core;
+pub use caps_gpu_sim as sim;
+pub use caps_metrics as metrics;
+pub use caps_prefetchers as prefetchers;
+pub use caps_workloads as workloads;
+
+/// One-stop imports for examples and downstream users.
+pub mod prelude {
+    pub use caps_core::{caps_config, caps_factory, CapConfig, CtaAwarePrefetcher};
+    pub use caps_gpu_sim::prelude::*;
+    pub use caps_metrics::{run_matrix, run_one, EnergyModel, Engine, RunRecord, RunSpec, Table};
+    pub use caps_workloads::{all_workloads, Scale, Workload};
+}

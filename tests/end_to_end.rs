@@ -1,0 +1,166 @@
+//! Cross-crate integration tests: whole-GPU simulations exercising the
+//! CAPS stack end to end at reduced scale.
+
+use caps::prelude::*;
+
+#[test]
+fn caps_speeds_up_the_stride_friendly_core() {
+    // The paper's headline direction: across stride-friendly kernels,
+    // CAPS must not lose to the baseline on aggregate.
+    let workloads = [Workload::Lps, Workload::Jc1, Workload::Cnv];
+    let mut ratio_sum = 0.0;
+    for w in workloads {
+        let base = run_one(&RunSpec::paper(w, Engine::Baseline));
+        let caps = run_one(&RunSpec::paper(w, Engine::Caps));
+        ratio_sum += caps.ipc() / base.ipc();
+    }
+    let mean = ratio_sum / workloads.len() as f64;
+    assert!(
+        mean > 1.0,
+        "mean CAPS speedup on stride kernels was {mean:.3}"
+    );
+}
+
+#[test]
+fn caps_accuracy_is_high_on_affine_kernels() {
+    for w in [Workload::Lps, Workload::Jc1, Workload::Mm] {
+        let r = run_one(&RunSpec::paper(w, Engine::Caps));
+        assert!(
+            r.stats.accuracy() > 0.9,
+            "{}: accuracy {:.2}",
+            w.abbr(),
+            r.stats.accuracy()
+        );
+    }
+}
+
+#[test]
+fn indirect_loads_are_excluded_from_prefetching() {
+    // BFS's visited/cost chases are indirect; CAP must only target the
+    // affine metadata, keeping coverage low but positive.
+    let r = run_one(&RunSpec::small(Workload::Bfs, Engine::Caps));
+    assert!(
+        r.stats.prefetch_issued > 0,
+        "metadata loads should prefetch"
+    );
+    assert!(
+        r.stats.coverage() < 0.5,
+        "indirect loads must not be covered: {:.2}",
+        r.stats.coverage()
+    );
+}
+
+#[test]
+fn inter_warp_prefetching_pollutes_across_cta_boundaries() {
+    // §III-B: INTER's cross-boundary prefetches are wrong. Its accuracy
+    // must be clearly below CAPS accuracy on the same kernel.
+    let inter = run_one(&RunSpec::paper(Workload::Cnv, Engine::Inter));
+    let caps = run_one(&RunSpec::paper(Workload::Cnv, Engine::Caps));
+    assert!(
+        inter.stats.accuracy() < caps.stats.accuracy(),
+        "INTER {:.2} vs CAPS {:.2}",
+        inter.stats.accuracy(),
+        caps.stats.accuracy()
+    );
+    assert!(inter.stats.prefetch_early_evicted + inter.stats.prefetch_unused_resident > 0);
+}
+
+#[test]
+fn whole_matrix_is_deterministic() {
+    let specs = vec![
+        RunSpec::small(Workload::Mm, Engine::Caps),
+        RunSpec::small(Workload::Bfs, Engine::Mta),
+        RunSpec::small(Workload::Scn, Engine::Nlp),
+    ];
+    let a = run_matrix(&specs);
+    let b = run_matrix(&specs);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.stats, y.stats, "{} {}", x.workload, x.engine);
+    }
+}
+
+#[test]
+fn every_workload_completes_under_every_engine_at_small_scale() {
+    let mut engines = vec![Engine::Baseline];
+    engines.extend(Engine::FIGURE10);
+    let specs: Vec<RunSpec> = all_workloads()
+        .into_iter()
+        .flat_map(|w| engines.iter().map(move |&e| RunSpec::small(w, e)))
+        .collect();
+    let recs = run_matrix(&specs);
+    for r in &recs {
+        assert!(
+            r.stats.ctas_completed > 0,
+            "{} {}: no CTAs completed",
+            r.workload,
+            r.engine
+        );
+        assert!(r.stats.cycles > 0);
+        assert!(r.ipc() > 0.0);
+    }
+}
+
+#[test]
+fn prefetchers_never_change_results_only_timing() {
+    // The same kernel must execute the same instruction count under any
+    // prefetcher: prefetching is a pure performance hint.
+    let mut engines = vec![Engine::Baseline];
+    engines.extend(Engine::FIGURE10);
+    let specs: Vec<RunSpec> = engines
+        .iter()
+        .map(|&e| RunSpec::small(Workload::Ste, e))
+        .collect();
+    let recs = run_matrix(&specs);
+    let base_inst = recs[0].stats.warp_instructions;
+    for r in &recs {
+        assert_eq!(r.stats.warp_instructions, base_inst, "{}", r.engine);
+        assert_eq!(r.stats.ctas_completed, recs[0].stats.ctas_completed);
+    }
+}
+
+#[test]
+fn fewer_concurrent_ctas_hurt_throughput() {
+    // Fig. 11's frame: curtailing concurrency loses more than any
+    // prefetcher can recover.
+    let mut one = RunSpec::small(Workload::Jc1, Engine::Baseline);
+    one.base_config.max_ctas_per_sm = 1;
+    let eight = RunSpec::small(Workload::Jc1, Engine::Baseline);
+    let r1 = run_one(&one);
+    let r8 = run_one(&eight);
+    assert!(
+        r1.ipc() < r8.ipc(),
+        "1 CTA {:.3} should be slower than 8 CTAs {:.3}",
+        r1.ipc(),
+        r8.ipc()
+    );
+}
+
+#[test]
+fn caps_bandwidth_overhead_is_small() {
+    // Fig. 13: accurate prefetching must not blow up request traffic.
+    let base = run_one(&RunSpec::paper(Workload::Lps, Engine::Baseline));
+    let caps = run_one(&RunSpec::paper(Workload::Lps, Engine::Caps));
+    let overhead = caps.stats.icnt_requests as f64 / base.stats.icnt_requests as f64;
+    assert!(overhead < 1.30, "traffic overhead {overhead:.2}");
+}
+
+#[test]
+fn energy_model_tracks_cycles() {
+    let base = run_one(&RunSpec::paper(Workload::Lps, Engine::Baseline));
+    let caps = run_one(&RunSpec::paper(Workload::Lps, Engine::Caps));
+    let ratio = caps.energy.total_mj() / base.energy.total_mj();
+    assert!(ratio > 0.7 && ratio < 1.2, "energy ratio {ratio:.3}");
+    assert!(caps.energy.caps_mj > 0.0, "CAPS table energy accounted");
+    assert_eq!(base.energy.caps_mj, 0.0, "baseline carries no table energy");
+}
+
+#[test]
+fn pas_improves_prefetch_distance_over_lrr() {
+    // Fig. 14b: the prefetch-aware scheduler buys earlier prefetches
+    // than plain round-robin for the same engine.
+    let lrr = run_one(&RunSpec::paper(Workload::Mm, Engine::CapsOnLrr));
+    let pas = run_one(&RunSpec::paper(Workload::Mm, Engine::Caps));
+    assert!(lrr.stats.prefetch_issued > 0 && pas.stats.prefetch_issued > 0);
+    // Both must at least produce measurable distances.
+    assert!(pas.stats.mean_prefetch_distance() > 0.0);
+}

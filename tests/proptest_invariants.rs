@@ -1,0 +1,213 @@
+//! Property-based tests (proptest) on the core data structures and on
+//! the CAP address algebra.
+
+use caps::core::{CapConfig, CtaAwarePrefetcher};
+use caps::sim::cache::{Cache, Lookup};
+use caps::sim::coalescer::coalesce;
+use caps::sim::config::CacheConfig;
+use caps::sim::cta_scheduler::CtaDistributor;
+use caps::sim::isa::{AddrPattern, AffinePattern, CtaTerm};
+use caps::sim::mshr::{MshrFile, MshrOutcome, Waiter};
+use caps::sim::prefetch::{DemandObservation, Prefetcher};
+use caps::sim::sched::{TwoLevelScheduler, WarpScheduler};
+use caps::sim::types::{line_base, CtaCoord};
+use proptest::prelude::*;
+
+fn small_cache() -> Cache {
+    Cache::new(CacheConfig {
+        size_bytes: 2048,
+        line_size: 128,
+        assoc: 2,
+        mshr_entries: 8,
+        mshr_merge: 4,
+        hit_latency: 1,
+    })
+}
+
+proptest! {
+    /// A filled line is observable until something evicts it; occupancy
+    /// never exceeds capacity.
+    #[test]
+    fn cache_occupancy_is_bounded(addrs in proptest::collection::vec(0u64..1 << 20, 1..200)) {
+        let mut c = small_cache();
+        for a in addrs {
+            let line = line_base(a, 128);
+            c.fill(line, None);
+            prop_assert!(c.probe(line), "a just-filled line must be resident");
+            prop_assert!(c.valid_lines() <= 16);
+        }
+    }
+
+    /// access() after fill() always hits, regardless of history.
+    #[test]
+    fn cache_fill_then_access_hits(
+        history in proptest::collection::vec(0u64..1 << 16, 0..64),
+        probe in 0u64..1 << 16,
+    ) {
+        let mut c = small_cache();
+        for a in history {
+            c.fill(line_base(a, 128), None);
+        }
+        let line = line_base(probe, 128);
+        c.fill(line, None);
+        let hit = matches!(c.access(line), Lookup::Hit { .. });
+        prop_assert!(hit);
+    }
+
+    /// The coalescer produces unique, aligned lines covering every lane.
+    #[test]
+    fn coalescer_covers_every_lane(
+        base in 0u64..1 << 30,
+        cta_pitch in 0i64..1 << 16,
+        warp_stride in -(1i64 << 12)..1 << 12,
+        lane_stride in 0i64..256,
+        warp in 0u32..16,
+        linear in 0u32..256,
+    ) {
+        let p = AffinePattern {
+            base: base + (1 << 14), // keep addresses positive
+            cta_term: CtaTerm::Linear { pitch: cta_pitch },
+            warp_stride,
+            lane_stride,
+            iter_stride: 0,
+        };
+        let pat = AddrPattern::Affine(p);
+        let cta = CtaCoord::from_linear(linear, 64);
+        let mut lines = Vec::new();
+        coalesce(&pat, cta, warp, 0, 32, 128, &mut lines);
+        prop_assert!(!lines.is_empty() && lines.len() <= 32);
+        for (i, &l) in lines.iter().enumerate() {
+            prop_assert_eq!(l % 128, 0);
+            prop_assert!(!lines[..i].contains(&l), "duplicate line");
+        }
+        for lane in 0..32 {
+            let l = line_base(p.addr(cta, warp, lane, 0), 128);
+            prop_assert!(lines.contains(&l), "lane {lane} uncovered");
+        }
+    }
+
+    /// CAP's generated prefetch address equals the trailing warp's
+    /// actual demand line for ANY affine geometry — the §V address
+    /// algebra, verified for arbitrary parameters.
+    #[test]
+    fn cap_predictions_match_demands_for_any_affine_kernel(
+        base in 1u64 << 20..1 << 28,
+        x_pitch in 0i64..2048,
+        y_pitch in 0i64..1 << 16,
+        warp_stride_lines in 1i64..64,
+        lead in 0u32..4u32,
+        detect in 0u32..4u32,
+        linear in 0u32..128,
+    ) {
+        prop_assume!(lead != detect);
+        let warp_stride = warp_stride_lines * 128; // line-aligned strides
+        let p = AffinePattern {
+            base,
+            cta_term: CtaTerm::Surface2D { x_pitch, y_pitch },
+            warp_stride,
+            lane_stride: 4,
+            iter_stride: 0,
+        };
+        let cta = CtaCoord::from_linear(linear, 16);
+        let mut cap = CtaAwarePrefetcher::with_config(CapConfig::default());
+        cap.on_cta_launch(0, cta);
+        let mut out = Vec::new();
+        let observe = |cap: &mut CtaAwarePrefetcher, warp: u32, out: &mut Vec<_>| {
+            let mut lines = Vec::new();
+            coalesce(&AddrPattern::Affine(p), cta, warp, 0, 32, 128, &mut lines);
+            let obs = DemandObservation {
+                cycle: 0,
+                pc: 4,
+                cta_slot: 0,
+                cta,
+                warp_in_cta: warp,
+                warp_slot: warp as usize,
+                warps_per_cta: 4,
+                lines: &lines,
+                is_affine: true,
+                iter: 0,
+            };
+            cap.on_demand(&obs, out);
+        };
+        observe(&mut cap, lead, &mut out);
+        observe(&mut cap, detect, &mut out);
+        // Every generated request must match the target warp's demand.
+        for r in &out {
+            let target = r.target_warp.expect("CAP always binds a warp") as u32;
+            let mut lines = Vec::new();
+            coalesce(&AddrPattern::Affine(p), cta, target, 0, 32, 128, &mut lines);
+            prop_assert!(
+                lines.contains(&r.line),
+                "prefetch {:#x} not demanded by warp {target}",
+                r.line
+            );
+        }
+        // And with a detected stride there must be work for the others.
+        prop_assert!(!out.is_empty());
+    }
+
+    /// MSHR conservation: allocations + merges never exceed capacity
+    /// bounds, and completion drains exactly what was allocated.
+    #[test]
+    fn mshr_conserves_entries(lines in proptest::collection::vec(0u64..16u64, 1..64)) {
+        let mut m = MshrFile::new(4, 4);
+        let mut live: Vec<u64> = Vec::new();
+        for (i, &l) in lines.iter().enumerate() {
+            let line = l * 128;
+            match m.demand_miss(line, Waiter { warp: i % 8 }) {
+                MshrOutcome::Allocated => live.push(line),
+                MshrOutcome::Merged { .. } => prop_assert!(live.contains(&line)),
+                MshrOutcome::ReservationFail => {
+                    prop_assert!(m.free() == 0 || live.contains(&line));
+                }
+            }
+            prop_assert!(m.len() <= 4);
+        }
+        for line in live.drain(..) {
+            let e = m.complete(line);
+            prop_assert!(!e.waiters.is_empty());
+        }
+        prop_assert!(m.is_empty());
+    }
+
+    /// Two-level scheduler conservation: every resident warp is always
+    /// in exactly one of (ready, pending), under arbitrary event churn.
+    #[test]
+    fn two_level_conserves_warps(events in proptest::collection::vec((0usize..12, 0u8..4), 0..300)) {
+        let mut s = TwoLevelScheduler::new(4, true, false);
+        for w in 0..12 {
+            s.on_launch(w, w % 4 == 0, (w % 2) as u8);
+        }
+        for (w, ev) in events {
+            match ev {
+                0 => s.on_long_latency(w),
+                1 => s.on_ready_again(w),
+                2 => {
+                    let _ = s.on_prefetch_fill(w);
+                }
+                _ => {
+                    let mut any = |_x: usize| true;
+                    let _ = s.pick(0, &mut any);
+                }
+            }
+            prop_assert!(s.ready_len() <= 4);
+        }
+    }
+
+    /// The CTA distributor dispenses each id exactly once, regardless of
+    /// the fill pattern.
+    #[test]
+    fn distributor_dispenses_each_cta_once(total in 1u32..200, sms in 1usize..20, slots in 1usize..10) {
+        let mut d = CtaDistributor::new(total);
+        let mut seen = vec![false; total as usize];
+        for (_, id) in d.initial_fill(sms, slots) {
+            prop_assert!(!seen[id as usize]);
+            seen[id as usize] = true;
+        }
+        while let Some(id) = d.next_cta() {
+            prop_assert!(!seen[id as usize]);
+            seen[id as usize] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+}

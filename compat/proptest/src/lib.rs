@@ -1,0 +1,299 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to a crates registry, so the
+//! workspace vendors the small slice of proptest it actually uses: the
+//! `proptest!` macro, `prop_assert*` / `prop_assume!`, integer range
+//! strategies, tuples, `collection::vec`, `bool::ANY`, and
+//! `sample::select`. Case generation is driven by a deterministic SplitMix64
+//! stream seeded from the test name, so failures reproduce across runs.
+//! `PROPTEST_CASES` overrides the per-test case count (default 64).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic SplitMix64 generator used to drive all strategies.
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Seed a generator from an arbitrary 64-bit value.
+    pub fn new(seed: u64) -> Self {
+        TestRng(seed ^ 0x9E37_79B9_7F4A_7C15)
+    }
+
+    /// Seed a generator deterministically from a test name (FNV-1a).
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng::new(h)
+    }
+
+    /// Next 64 bits of the SplitMix64 stream.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u128) -> u128 {
+        ((self.next_u64() as u128) << 64 | self.next_u64() as u128) % bound
+    }
+}
+
+/// How many cases each `proptest!` test runs (`PROPTEST_CASES` env override).
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Outcome of one generated case body.
+pub enum TestCaseError {
+    /// `prop_assume!` failed — skip the case without counting it a failure.
+    Reject,
+    /// A `prop_assert*!` failed with the given message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Build a failure with a formatted message.
+    pub fn fail(msg: String) -> Self {
+        TestCaseError::Fail(msg)
+    }
+}
+
+/// A generator of values for one `proptest!` argument.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+    /// Draw one value from the deterministic stream.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+macro_rules! int_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let span = (self.end as i128) - (self.start as i128);
+                assert!(span > 0, "empty range strategy");
+                (self.start as i128 + rng.below(span as u128) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let span = (*self.end() as i128) - (*self.start() as i128) + 1;
+                assert!(span > 0, "empty range strategy");
+                (*self.start() as i128 + rng.below(span as u128) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategies {
+    ($(($($s:ident $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+}
+
+/// Size bounds for `collection::vec` (inclusive).
+pub struct SizeRange {
+    min: usize,
+    max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.end > r.start, "empty size range");
+        SizeRange { min: r.start, max: r.end - 1 }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange { min: *r.start(), max: *r.end() }
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{SizeRange, Strategy, TestRng};
+
+    /// Strategy producing `Vec`s of values drawn from an element strategy.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy with the given element strategy and size bounds.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { elem, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max - self.size.min + 1) as u128;
+            let len = self.size.min + rng.below(span) as usize;
+            (0..len).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+/// Boolean strategies (`prop::bool::ANY`).
+pub mod bool {
+    use super::{Strategy, TestRng};
+
+    /// Strategy over both boolean values.
+    #[derive(Clone, Copy)]
+    pub struct Any;
+
+    /// Uniformly random boolean.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = core::primitive::bool;
+        fn sample(&self, rng: &mut TestRng) -> core::primitive::bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Sampling strategies (`prop::sample::select`).
+pub mod sample {
+    use super::{Strategy, TestRng};
+
+    /// Strategy selecting uniformly from a fixed set of options.
+    pub struct Select<T>(Vec<T>);
+
+    /// Uniform choice among `options` (cloned per case).
+    pub fn select<T: Clone>(options: impl Into<Vec<T>>) -> Select<T> {
+        let options = options.into();
+        assert!(!options.is_empty(), "select of empty set");
+        Select(options)
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.0[rng.below(self.0.len() as u128) as usize].clone()
+        }
+    }
+}
+
+/// Everything a test file needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Strategy, TestRng,
+    };
+}
+
+/// Define deterministic property tests over named strategies.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cases = $crate::cases();
+            let mut rng = $crate::TestRng::from_name(stringify!($name));
+            for case in 0..cases {
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
+                let mut run = || -> ::core::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    Ok(())
+                };
+                match run() {
+                    Ok(()) => {}
+                    Err($crate::TestCaseError::Reject) => continue,
+                    Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!("property failed on case {case}/{cases}: {msg}")
+                    }
+                }
+            }
+        }
+    )+};
+}
+
+/// `assert!` that reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)*);
+    }};
+}
+
+/// `assert_ne!` that reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, $($fmt)*);
+    }};
+}
+
+/// Skip cases whose inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}

@@ -2,19 +2,30 @@
 //! print the full statistics.
 //!
 //! ```text
-//! run <BENCH> <ENGINE> [--small] [--ctas N] [--kepler]
+//! run <BENCH> <ENGINE> [--small] [--ctas N] [--kepler] [--threads N]
 //!   BENCH:  CP LPS BPR HSP MRQ STE CNV HST JC1 FFT SCN MM PVR CCL BFS KM
 //!   ENGINE: base intra inter mta nlp lap orch caps caps-nw
 //!           caps@lrr caps@tlv caps@gto
+//! run --bench-throughput [--small] [--out PATH]
 //! ```
+//!
+//! `--bench-throughput` times the memory-bound workloads (BFS, MRQ, SCN)
+//! with event-horizon fast-forward on and off, reports simulated
+//! cycles/sec and host seconds per run, and writes the results to
+//! `BENCH_throughput.json` (override with `--out`) so the simulator's
+//! perf trajectory is tracked across PRs.
+
+use std::time::Instant;
 
 use caps_gpu_sim::config::GpuConfig;
-use caps_metrics::{run_one, Engine, RunSpec, Table};
-use caps_workloads::{all_workloads, Scale};
+use caps_json::{obj, Value};
+use caps_metrics::{run_one, run_one_with_fast_forward, Engine, RunSpec, Table};
+use caps_workloads::{all_workloads, Scale, Workload};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: run <BENCH> <ENGINE> [--small] [--ctas N] [--kepler]\n\
+        "usage: run <BENCH> <ENGINE> [--small] [--ctas N] [--kepler] [--threads N]\n\
+         \x20      run --bench-throughput [--small] [--out PATH]\n\
          BENCH:  {}\n\
          ENGINE: base intra inter mta nlp lap orch caps caps-nw caps@lrr caps@tlv caps@gto",
         all_workloads()
@@ -26,11 +37,112 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
+/// Median-of-N wall-clock timing for one spec in one fast-forward mode.
+fn time_mode(spec: &RunSpec, fast_forward: bool, reps: usize) -> (caps_metrics::RunRecord, f64) {
+    let mut best: Option<(caps_metrics::RunRecord, f64)> = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let rec = run_one_with_fast_forward(spec, fast_forward);
+        let secs = t0.elapsed().as_secs_f64();
+        if best.as_ref().is_none_or(|(_, b)| secs < *b) {
+            best = Some((rec, secs));
+        }
+    }
+    best.expect("reps > 0")
+}
+
+fn bench_throughput(args: &[String]) {
+    let scale = if args.iter().any(|a| a == "--small") {
+        Scale::Small
+    } else {
+        Scale::Full
+    };
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_throughput.json".to_string());
+    let reps = 3;
+    let mut entries = Vec::new();
+    println!(
+        "{:<5} {:<5} {:>12} {:>11} {:>11} {:>14} {:>14} {:>8}",
+        "bench", "eng", "sim cycles", "naive s", "fast s", "naive cyc/s", "fast cyc/s", "speedup"
+    );
+    for workload in [Workload::Bfs, Workload::Mrq, Workload::Scn] {
+        for engine in [Engine::Baseline, Engine::Caps] {
+            let mut spec = RunSpec::paper(workload, engine);
+            spec.scale = scale;
+            let (naive_rec, naive_s) = time_mode(&spec, false, reps);
+            let (fast_rec, fast_s) = time_mode(&spec, true, reps);
+            assert_eq!(
+                naive_rec.stats, fast_rec.stats,
+                "fast-forward diverged on {} / {}",
+                naive_rec.workload, naive_rec.engine
+            );
+            let cycles = fast_rec.stats.cycles;
+            let speedup = naive_s / fast_s;
+            println!(
+                "{:<5} {:<5} {:>12} {:>11.4} {:>11.4} {:>14.0} {:>14.0} {:>7.2}x",
+                naive_rec.workload,
+                naive_rec.engine,
+                cycles,
+                naive_s,
+                fast_s,
+                cycles as f64 / naive_s,
+                cycles as f64 / fast_s,
+                speedup
+            );
+            entries.push(obj(vec![
+                ("workload", Value::Str(naive_rec.workload.clone())),
+                ("engine", Value::Str(naive_rec.engine.clone())),
+                (
+                    "scale",
+                    Value::Str(
+                        if scale == Scale::Small {
+                            "small"
+                        } else {
+                            "full"
+                        }
+                        .to_string(),
+                    ),
+                ),
+                ("simulated_cycles", Value::UInt(cycles)),
+                ("naive_host_seconds", Value::Float(naive_s)),
+                ("fast_host_seconds", Value::Float(fast_s)),
+                (
+                    "naive_cycles_per_sec",
+                    Value::Float(cycles as f64 / naive_s),
+                ),
+                ("fast_cycles_per_sec", Value::Float(cycles as f64 / fast_s)),
+                ("speedup", Value::Float(speedup)),
+            ]));
+        }
+    }
+    let best = entries
+        .iter()
+        .filter_map(|e| e.get("speedup").and_then(|v| v.as_f64().ok()))
+        .fold(0.0_f64, f64::max);
+    let doc = obj(vec![
+        ("bench", Value::Str("sim_throughput".to_string())),
+        ("timing", Value::Str(format!("best of {reps} runs"))),
+        ("best_speedup", Value::Float(best)),
+        ("entries", Value::Arr(entries)),
+    ]);
+    std::fs::write(&out, doc.pretty()).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!("\nwrote {out} (best fast-forward speedup {best:.2}x)");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().is_some_and(|a| a == "--bench-throughput") {
+        bench_throughput(&args);
+        return;
+    }
     if args.len() < 2 {
         usage();
     }
+    caps_bench::apply_threads_from_args();
     let workload = all_workloads()
         .into_iter()
         .find(|w| w.abbr().eq_ignore_ascii_case(&args[0]))

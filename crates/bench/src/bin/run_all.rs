@@ -2,13 +2,16 @@
 //! text to `results/` and the raw Figure-10 records to JSON.
 //!
 //! ```text
-//! cargo run --release -p caps-bench --bin run_all [-- --small]
+//! cargo run --release -p caps-bench --bin run_all [-- --small] [--threads N]
 //! ```
+//!
+//! `--threads N` caps the harness worker count (default: one worker per
+//! available core).
 
 use std::fs;
 use std::path::Path;
 
-use caps_metrics::{save, Engine, RunSpec};
+use caps_metrics::{save, RunSpec};
 use caps_workloads::Scale;
 
 fn write(dir: &Path, name: &str, contents: String) {
@@ -19,6 +22,7 @@ fn write(dir: &Path, name: &str, contents: String) {
 
 fn main() {
     let scale = caps_bench::scale_from_args();
+    caps_bench::apply_threads_from_args();
     let dir = Path::new("results");
     fs::create_dir_all(dir).expect("create results/");
 

@@ -32,6 +32,24 @@ pub fn scale_from_args() -> Scale {
     }
 }
 
+/// Apply a `--threads N` flag (if present) to the shared harness worker
+/// count; without it the harness auto-detects from
+/// `available_parallelism`. Shared by all figure binaries.
+pub fn apply_threads_from_args() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--threads") {
+        let n: usize = args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                eprintln!("--threads requires a positive integer");
+                std::process::exit(2);
+            });
+        caps_metrics::set_default_threads(n);
+    }
+}
+
 /// Run `engines × workloads` and return records in row-major
 /// (workload-major) order.
 pub fn run_grid(workloads: &[Workload], engines: &[Engine], scale: Scale) -> Vec<RunRecord> {

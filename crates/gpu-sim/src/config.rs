@@ -6,10 +6,8 @@
 //! 4-way L1D with 32 MSHRs, 12 L2 partitions of 64 KB each, and 6 GDDR5
 //! channels scheduled FR-FCFS.
 
-use serde::{Deserialize, Serialize};
-
 /// Warp scheduler selection for an SM.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SchedulerKind {
     /// Loose round-robin over all ready warps.
     Lrr,
@@ -47,7 +45,7 @@ impl SchedulerKind {
 }
 
 /// Cache geometry and timing for one cache instance.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub size_bytes: u32,
@@ -78,7 +76,7 @@ impl CacheConfig {
 }
 
 /// GDDR5 timing parameters in *DRAM* clock cycles (Table III, bottom row).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DramTiming {
     /// CAS latency.
     pub t_cl: u32,
@@ -120,7 +118,7 @@ impl DramTiming {
 }
 
 /// Full GPU configuration (Table III plus modelling knobs).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GpuConfig {
     /// Number of SMs ("15 cores" in Table III).
     pub num_sms: usize,

@@ -11,7 +11,7 @@ use crate::prefetch::PrefetcherFactory;
 use crate::sched::make_scheduler;
 use crate::sm::Sm;
 use crate::stats::Stats;
-use crate::types::Cycle;
+use crate::types::{CtaCoord, Cycle};
 
 /// Hard ceiling on simulated cycles; a run exceeding it returns what it
 /// has (mirrors the paper's one-billion-instruction cap).
@@ -34,6 +34,30 @@ pub struct Gpu {
     distributor: CtaDistributor,
     cycle: Cycle,
     dram_done_scratch: Vec<DramRequest>,
+    completed_scratch: Vec<CtaCoord>,
+    /// Event-horizon fast-forward: when no component can make progress,
+    /// jump the clock to the next event instead of stepping cycle by
+    /// cycle. Statistics are bit-identical either way; disabled by the
+    /// `GPU_SIM_NO_SKIP` environment variable (or [`Self::set_fast_forward`]).
+    fast_forward: bool,
+    /// Cycles covered by horizon jumps (host diagnostics, not `Stats`).
+    skipped_cycles: u64,
+    /// Number of horizon jumps taken.
+    skip_events: u64,
+    /// Per-SM quiescence cache: SM `i` provably cannot make progress
+    /// before `sm_quiet_until[i]` unless an external event (a fill, a
+    /// CTA launch, a rebind) touches it first — each of those resets the
+    /// entry to 0. Lets the step loop replace a stalled SM's whole
+    /// pipeline walk with O(1) analytic stat accounting.
+    sm_quiet_until: Vec<Cycle>,
+    /// Per-partition twin of `sm_quiet_until`: reset whenever the
+    /// partition accepts a request, receives a DRAM fill, or its channel
+    /// steps (the only external ways a partition un-stalls).
+    part_quiet_until: Vec<Cycle>,
+    /// Per-channel twin: a channel's timers move only under its own
+    /// `step`, so the cache is reset only when a partition pushes a new
+    /// request into it.
+    ch_quiet_until: Vec<Cycle>,
 }
 
 impl Gpu {
@@ -84,6 +108,9 @@ impl Gpu {
             .map(|_| DramChannel::new(&cfg))
             .collect();
         let distributor = CtaDistributor::new(kernel.num_ctas());
+        let num_sms = cfg.num_sms;
+        let num_partitions = cfg.num_partitions;
+        let num_channels = cfg.num_dram_channels;
         Gpu {
             cfg,
             kernel,
@@ -97,7 +124,30 @@ impl Gpu {
             distributor,
             cycle: 0,
             dram_done_scratch: Vec::new(),
+            completed_scratch: Vec::new(),
+            fast_forward: std::env::var_os("GPU_SIM_NO_SKIP").is_none(),
+            skipped_cycles: 0,
+            skip_events: 0,
+            sm_quiet_until: vec![0; num_sms],
+            part_quiet_until: vec![0; num_partitions],
+            ch_quiet_until: vec![0; num_channels],
         }
+    }
+
+    /// Simulated cycles covered by horizon jumps and the number of
+    /// jumps taken (host-side diagnostics; not part of [`Stats`]).
+    pub fn skip_counters(&self) -> (u64, u64) {
+        (self.skipped_cycles, self.skip_events)
+    }
+
+    /// Enable or disable event-horizon fast-forward in-process (tests
+    /// use this to compare against naive stepping without touching the
+    /// environment).
+    pub fn set_fast_forward(&mut self, on: bool) {
+        self.fast_forward = on;
+        self.sm_quiet_until.fill(0);
+        self.part_quiet_until.fill(0);
+        self.ch_quiet_until.fill(0);
     }
 
     /// Current simulated cycle.
@@ -122,9 +172,7 @@ impl Gpu {
         for _ in 0..launches {
             self.distributor = CtaDistributor::new(self.kernel.num_ctas());
             self.initial_fill();
-            while !self.done() && self.cycle < max_cycles {
-                self.step();
-            }
+            self.advance_until_done(max_cycles);
             if self.cycle >= max_cycles {
                 break;
             }
@@ -147,14 +195,147 @@ impl Gpu {
             self.bind_kernel(k.clone());
             self.distributor = CtaDistributor::new(self.kernel.num_ctas());
             self.initial_fill();
-            while !self.done() && self.cycle < max_cycles {
-                self.step();
-            }
+            self.advance_until_done(max_cycles);
             if self.cycle >= max_cycles {
                 break;
             }
         }
         self.collect_stats()
+    }
+
+    /// Drive the clock until the bound kernel drains or `max_cycles`
+    /// elapse. With fast-forward enabled, cycles in which no component
+    /// can make progress are skipped in one hop to the event horizon —
+    /// the earliest future cycle at which anything can happen — with the
+    /// per-cycle statistics those naive steps would have accumulated
+    /// accounted analytically. The resulting [`Stats`] are bit-identical
+    /// to naive stepping.
+    fn advance_until_done(&mut self, max_cycles: Cycle) {
+        while !self.done() && self.cycle < max_cycles {
+            let now = self.cycle;
+            // Machine-wide quiescence requires every SM quiescent, so the
+            // cheap per-SM cache gates the full probe: in busy phases the
+            // per-cycle overhead is one scan of `sm_quiet_until`.
+            if self.fast_forward
+                && self.sm_quiet_until.iter().all(|&quiet| quiet > now)
+                && !self.can_progress(now)
+            {
+                // Nothing can happen before the horizon. `None` means a
+                // deadlocked configuration: jump straight to the cap,
+                // exactly as the naive loop would spin to it.
+                let target = self.horizon(now).unwrap_or(max_cycles).min(max_cycles);
+                debug_assert!(target > now, "horizon must be in the future");
+                self.skip_to(now, target);
+            } else {
+                self.step();
+            }
+        }
+    }
+
+    /// Whether a [`Self::step`] at `now` would change any state anywhere
+    /// in the machine. Ordered cheapest-first; each arm mirrors one step
+    /// phase. Over-approximation (a `true` for a no-op cycle) is safe —
+    /// it merely steps naively; `false` must be exact.
+    fn can_progress(&self, now: Cycle) -> bool {
+        // DRAM: a completion matures or a bank can issue a command.
+        if self
+            .channels
+            .iter()
+            .zip(&self.ch_quiet_until)
+            .any(|(c, &quiet)| quiet <= now && c.can_progress(now))
+        {
+            return true;
+        }
+        // Networks: an arrival can move into an ejection queue.
+        if self.reply_net.can_deliver(now)
+            || self.pf_reply_net.can_deliver(now)
+            || self.req_net.can_deliver(now)
+            || self.pf_req_net.can_deliver(now)
+        {
+            return true;
+        }
+        // Reply ejection queues drain unconditionally (SMs always take
+        // fills).
+        if self.reply_net.has_ejected() || self.pf_reply_net.has_ejected() {
+            return true;
+        }
+        // Request ejection heads move only if their partition has input
+        // space for them.
+        for p in 0..self.cfg.num_partitions {
+            if self
+                .req_net
+                .peek(p)
+                .is_some_and(|r| self.partitions[p].can_accept(r.kind))
+            {
+                return true;
+            }
+            if self
+                .pf_req_net
+                .peek(p)
+                .is_some_and(|r| self.partitions[p].can_accept(r.kind))
+            {
+                return true;
+            }
+        }
+        if self
+            .sms
+            .iter()
+            .zip(&self.sm_quiet_until)
+            .any(|(sm, &quiet)| quiet <= now && sm.can_progress(now, &self.kernel))
+        {
+            return true;
+        }
+        self.partitions.iter().enumerate().any(|(p, part)| {
+            self.part_quiet_until[p] <= now
+                && part.can_progress(now, &self.channels[self.cfg.channel_of_partition(p)])
+        })
+    }
+
+    /// Earliest future cycle (strictly after `now`) at which any
+    /// component can act on its own: a network arrival, a DRAM timer, a
+    /// maturing hit pipe, a warp execution-latency timer, or a prefetch
+    /// age-out. Everything else in the machine moves only as a
+    /// consequence of one of these.
+    fn horizon(&self, now: Cycle) -> Option<Cycle> {
+        let nets = [
+            self.req_net.earliest_arrival(now),
+            self.pf_req_net.earliest_arrival(now),
+            self.reply_net.earliest_arrival(now),
+            self.pf_reply_net.earliest_arrival(now),
+        ];
+        nets.into_iter()
+            .chain(self.sms.iter().map(|sm| sm.next_event(now)))
+            .chain(self.partitions.iter().map(|p| p.next_event(now)))
+            .chain(self.channels.iter().map(|c| c.next_event(now)))
+            .flatten()
+            .min()
+    }
+
+    /// Jump the clock from `now` to `target`, replicating the statistics
+    /// side effects of the `target - now` quiescent naive steps being
+    /// skipped. No architectural state changes in a quiescent cycle, so
+    /// only per-cycle counters need accounting.
+    fn skip_to(&mut self, now: Cycle, target: Cycle) {
+        let delta = target - now;
+        for sm in &mut self.sms {
+            sm.account_skipped(delta);
+        }
+        for p in &mut self.partitions {
+            p.account_skipped(delta);
+        }
+        // Each network records one stall event per blocked ejection head
+        // per cycle; the blocked set cannot change inside the window.
+        let b = self.req_net.blocked_heads(now);
+        self.req_net.stall_events += delta * b;
+        let b = self.pf_req_net.blocked_heads(now);
+        self.pf_req_net.stall_events += delta * b;
+        let b = self.reply_net.blocked_heads(now);
+        self.reply_net.stall_events += delta * b;
+        let b = self.pf_reply_net.blocked_heads(now);
+        self.pf_reply_net.stall_events += delta * b;
+        self.skipped_cycles += delta;
+        self.skip_events += 1;
+        self.cycle = target;
     }
 
     /// Replace the bound kernel (the GPU must be drained between
@@ -164,6 +345,9 @@ impl Gpu {
         for sm in &mut self.sms {
             sm.rebind(&kernel);
         }
+        self.sm_quiet_until.fill(0);
+        self.part_quiet_until.fill(0);
+        self.ch_quiet_until.fill(0);
         self.kernel = kernel;
     }
 
@@ -175,6 +359,7 @@ impl Gpu {
         for (sm, cta) in plan {
             let coord = self.kernel.cta_coord(cta);
             self.sms[sm].launch_cta(coord);
+            self.sm_quiet_until[sm] = 0;
         }
     }
 
@@ -192,30 +377,54 @@ impl Gpu {
     /// Advance the whole GPU one core cycle.
     pub fn step(&mut self) {
         let now = self.cycle;
-        let mut completed = Vec::new();
+        let mut completed = std::mem::take(&mut self.completed_scratch);
+        completed.clear();
 
         // 1. Deliver fills to SMs: demand replies first, then the
         // prefetch virtual channel.
         self.reply_net.step(now);
         self.pf_reply_net.step(now);
-        for sm in 0..self.cfg.num_sms {
-            for _ in 0..self.cfg.icnt_bandwidth {
-                match self.reply_net.pop_one(sm) {
-                    Some(reply) => self.sms[sm].on_fill(now, reply.line),
-                    None => break,
+        if self.reply_net.has_ejected() || self.pf_reply_net.has_ejected() {
+            for sm in 0..self.cfg.num_sms {
+                for _ in 0..self.cfg.icnt_bandwidth {
+                    match self.reply_net.pop_one(sm) {
+                        Some(reply) => {
+                            self.sms[sm].on_fill(now, reply.line);
+                            self.sm_quiet_until[sm] = 0;
+                        }
+                        None => break,
+                    }
                 }
-            }
-            for _ in 0..self.cfg.icnt_bandwidth {
-                match self.pf_reply_net.pop_one(sm) {
-                    Some(reply) => self.sms[sm].on_fill(now, reply.line),
-                    None => break,
+                for _ in 0..self.cfg.icnt_bandwidth {
+                    match self.pf_reply_net.pop_one(sm) {
+                        Some(reply) => {
+                            self.sms[sm].on_fill(now, reply.line);
+                            self.sm_quiet_until[sm] = 0;
+                        }
+                        None => break,
+                    }
                 }
             }
         }
 
-        // 2. SM pipelines.
-        for sm in &mut self.sms {
-            sm.step(now, &self.kernel, &mut completed);
+        // 2. SM pipelines. With fast-forward, an SM that provably cannot
+        // progress this cycle is not stepped: its per-cycle counters are
+        // accounted analytically and the verdict is cached until its own
+        // next event (external events reset the cache entry to 0).
+        for i in 0..self.sms.len() {
+            if self.fast_forward {
+                if self.sm_quiet_until[i] > now {
+                    self.sms[i].account_skipped(1);
+                    continue;
+                }
+                if !self.sms[i].can_progress(now, &self.kernel) {
+                    self.sms[i].account_skipped(1);
+                    self.sm_quiet_until[i] =
+                        self.sms[i].next_event(now).unwrap_or(Cycle::MAX);
+                    continue;
+                }
+            }
+            self.sms[i].step(now, &self.kernel, &mut completed);
         }
 
         // 3. SM → request networks (bounded per SM per cycle; demands
@@ -236,39 +445,87 @@ impl Gpu {
         // demand channel first).
         self.req_net.step(now);
         self.pf_req_net.step(now);
-        for p in 0..self.cfg.num_partitions {
-            for _ in 0..self.cfg.icnt_bandwidth {
-                let Some(req) = self.req_net.peek(p) else {
-                    break;
-                };
-                if !self.partitions[p].can_accept(req.kind) {
-                    break;
+        if self.req_net.has_ejected() || self.pf_req_net.has_ejected() {
+            for p in 0..self.cfg.num_partitions {
+                for _ in 0..self.cfg.icnt_bandwidth {
+                    let Some(req) = self.req_net.peek(p) else {
+                        break;
+                    };
+                    if !self.partitions[p].can_accept(req.kind) {
+                        break;
+                    }
+                    let req = self.req_net.pop_one(p).expect("peeked");
+                    self.partitions[p].accept(now, req);
+                    self.part_quiet_until[p] = 0;
                 }
-                let req = self.req_net.pop_one(p).expect("peeked");
-                self.partitions[p].accept(now, req);
-            }
-            for _ in 0..self.cfg.icnt_bandwidth {
-                let Some(req) = self.pf_req_net.peek(p) else {
-                    break;
-                };
-                if !self.partitions[p].can_accept(req.kind) {
-                    break;
+                for _ in 0..self.cfg.icnt_bandwidth {
+                    let Some(req) = self.pf_req_net.peek(p) else {
+                        break;
+                    };
+                    if !self.partitions[p].can_accept(req.kind) {
+                        break;
+                    }
+                    let req = self.pf_req_net.pop_one(p).expect("peeked");
+                    self.partitions[p].accept(now, req);
+                    self.part_quiet_until[p] = 0;
                 }
-                let req = self.pf_req_net.pop_one(p).expect("peeked");
-                self.partitions[p].accept(now, req);
             }
         }
 
         // 5. DRAM channels advance; completions dispatch per partition.
+        // A channel whose probe says "nothing matures, no bank ready"
+        // would step as a pure no-op (no state, no stats), so under
+        // fast-forward it is skipped outright until its own next timer —
+        // only a partition pushing a request can unquiesce it earlier,
+        // and that push resets the cache below.
         self.dram_done_scratch.clear();
-        for ch in &mut self.channels {
+        let mut ch_stepped: u64 = 0;
+        for (i, ch) in self.channels.iter_mut().enumerate() {
+            if self.fast_forward {
+                if self.ch_quiet_until[i] > now {
+                    continue;
+                }
+                if !ch.can_progress(now) {
+                    self.ch_quiet_until[i] = ch.next_event(now).unwrap_or(Cycle::MAX);
+                    continue;
+                }
+            }
             ch.step(now, &mut self.dram_done_scratch);
+            ch_stepped |= 1 << i;
         }
 
-        // 6. Partitions service inputs and emit replies.
+        // 6. Partitions service inputs and emit replies. Under
+        // fast-forward a partition provably stalled until
+        // `part_quiet_until[p]` only accounts its per-cycle stall
+        // counter; the cache is reset on every event that can unblock it
+        // (an accepted request in phase 4, a DRAM fill, or any step of
+        // its channel — which can free queue space or MSHRs).
         for p in 0..self.cfg.num_partitions {
             let ch = self.cfg.channel_of_partition(p);
+            if self.fast_forward {
+                if ch_stepped & (1 << ch) != 0 {
+                    self.part_quiet_until[p] = 0;
+                }
+                let has_fill = !self.dram_done_scratch.is_empty()
+                    && self.dram_done_scratch.iter().any(|r| r.partition == p);
+                if !has_fill {
+                    if self.part_quiet_until[p] > now {
+                        self.partitions[p].account_skipped(1);
+                        continue;
+                    }
+                    if !self.partitions[p].can_progress(now, &self.channels[ch]) {
+                        self.partitions[p].account_skipped(1);
+                        self.part_quiet_until[p] =
+                            self.partitions[p].next_event(now).unwrap_or(Cycle::MAX);
+                        continue;
+                    }
+                }
+            }
+            let pending_before = self.channels[ch].pending();
             self.partitions[p].step(now, &mut self.channels[ch], &self.dram_done_scratch);
+            if self.channels[ch].pending() != pending_before {
+                self.ch_quiet_until[ch] = 0;
+            }
             for _ in 0..self.cfg.icnt_bandwidth {
                 let Some(reply) = self.partitions[p].reply_out.pop_front() else {
                     break;
@@ -288,17 +545,19 @@ impl Gpu {
         if !completed.is_empty() {
             self.refill_ctas();
         }
+        self.completed_scratch = completed;
 
         self.cycle += 1;
     }
 
     fn refill_ctas(&mut self) {
-        for sm in &mut self.sms {
+        for (i, sm) in self.sms.iter_mut().enumerate() {
             while sm.has_free_cta_slot() {
                 match self.distributor.next_cta() {
                     Some(id) => {
                         let coord = self.kernel.cta_coord(id);
                         sm.launch_cta(coord);
+                        self.sm_quiet_until[i] = 0;
                     }
                     None => break,
                 }
@@ -481,6 +740,43 @@ mod tests {
         let cached_one = one.l1d_demand_hits + one.l2_hits;
         let cached_two = two.l1d_demand_hits + two.l2_hits;
         assert!(cached_two > cached_one, "{cached_two} vs {cached_one}");
+    }
+
+    #[test]
+    fn fast_forward_is_bit_identical_to_naive_stepping() {
+        let cfg = GpuConfig::test_small();
+        let mut fast = Gpu::new(cfg.clone(), stride_kernel(16, 4), &*null_factory());
+        fast.set_fast_forward(true);
+        let mut naive = Gpu::new(cfg, stride_kernel(16, 4), &*null_factory());
+        naive.set_fast_forward(false);
+        assert_eq!(fast.run(1_000_000), naive.run(1_000_000));
+    }
+
+    #[test]
+    fn fast_forward_is_bit_identical_across_relaunches() {
+        let cfg = GpuConfig::test_small();
+        let mut fast = Gpu::new(cfg.clone(), stride_kernel(8, 4), &*null_factory());
+        fast.set_fast_forward(true);
+        let mut naive = Gpu::new(cfg, stride_kernel(8, 4), &*null_factory());
+        naive.set_fast_forward(false);
+        assert_eq!(
+            fast.run_launches(3, 1_000_000),
+            naive.run_launches(3, 1_000_000)
+        );
+    }
+
+    #[test]
+    fn fast_forward_is_bit_identical_under_a_cycle_cap() {
+        // The cap can land inside a skip window; the jump must clamp to
+        // it and account the partial window exactly as naive spinning.
+        for cap in [50, 137, 500] {
+            let cfg = GpuConfig::test_small();
+            let mut fast = Gpu::new(cfg.clone(), stride_kernel(64, 4), &*null_factory());
+            fast.set_fast_forward(true);
+            let mut naive = Gpu::new(cfg, stride_kernel(64, 4), &*null_factory());
+            naive.set_fast_forward(false);
+            assert_eq!(fast.run(cap), naive.run(cap), "cap {cap}");
+        }
     }
 
     #[test]

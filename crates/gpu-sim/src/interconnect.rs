@@ -47,6 +47,9 @@ pub struct Network<T> {
     latency: u32,
     eject_depth: usize,
     eject_bw: u32,
+    /// Total messages across all ejection queues (kept incrementally so
+    /// per-cycle emptiness checks are O(1)).
+    ejected: usize,
     /// Cumulative count of cycles a pipe head waited for a full ejection
     /// queue (congestion diagnostic).
     pub stall_events: u64,
@@ -63,6 +66,7 @@ impl<T> Network<T> {
             latency,
             eject_depth,
             eject_bw,
+            ejected: 0,
             stall_events: 0,
         }
     }
@@ -92,6 +96,7 @@ impl<T> Network<T> {
                 }
                 let (_, msg) = self.pipes[dst].pop_front().expect("checked non-empty");
                 self.eject[dst].push_back(msg);
+                self.ejected += 1;
             }
         }
     }
@@ -101,6 +106,7 @@ impl<T> Network<T> {
     pub fn pop(&mut self, dst: usize) -> EjectIter<'_, T> {
         EjectIter {
             q: &mut self.eject[dst],
+            counter: &mut self.ejected,
             left: self.eject_bw,
         }
     }
@@ -119,19 +125,66 @@ impl<T> Network<T> {
     /// that must check a consumer-side condition (e.g. partition input
     /// space) before consuming use this with their own bandwidth count.
     pub fn pop_one(&mut self, dst: usize) -> Option<T> {
-        self.eject[dst].pop_front()
+        let msg = self.eject[dst].pop_front();
+        if msg.is_some() {
+            self.ejected -= 1;
+        }
+        msg
     }
 
     /// Total messages anywhere in the network.
     pub fn in_flight(&self) -> usize {
-        self.pipes.iter().map(VecDeque::len).sum::<usize>()
-            + self.eject.iter().map(VecDeque::len).sum::<usize>()
+        self.pipes.iter().map(VecDeque::len).sum::<usize>() + self.ejected
+    }
+
+    /// O(1): any message sitting in an ejection queue.
+    #[inline]
+    pub fn has_ejected(&self) -> bool {
+        self.ejected > 0
+    }
+
+    /// Whether a [`Self::step`] at `now` would move at least one message
+    /// from a pipe into an ejection queue (an arrival — forward progress
+    /// for the fast-forward probe).
+    pub fn can_deliver(&self, now: Cycle) -> bool {
+        self.pipes.iter().zip(&self.eject).any(|(pipe, ej)| {
+            pipe.front()
+                .is_some_and(|&(t, _)| t <= now && ej.len() < self.eject_depth)
+        })
+    }
+
+    /// Number of destinations whose pipe head has arrived but is blocked
+    /// on a full ejection queue. [`Self::step`] records exactly one
+    /// stall event per such destination per cycle, so a skipped window of
+    /// `delta` cycles accounts `delta * blocked_heads` stall events.
+    pub fn blocked_heads(&self, now: Cycle) -> u64 {
+        self.pipes
+            .iter()
+            .zip(&self.eject)
+            .filter(|(pipe, ej)| {
+                pipe.front()
+                    .is_some_and(|&(t, _)| t <= now && ej.len() >= self.eject_depth)
+            })
+            .count() as u64
+    }
+
+    /// Earliest future pipe arrival, strictly after `now`. Heads already
+    /// arrived (t ≤ now) are excluded: unblocked ones are immediate
+    /// progress (no skip happens), blocked ones cannot move until their
+    /// consumer drains — a different progress event.
+    pub fn earliest_arrival(&self, now: Cycle) -> Option<Cycle> {
+        self.pipes
+            .iter()
+            .filter_map(|pipe| pipe.front().map(|&(t, _)| t))
+            .filter(|&t| t > now)
+            .min()
     }
 }
 
 /// Draining iterator bounded by ejection bandwidth.
 pub struct EjectIter<'a, T> {
     q: &'a mut VecDeque<T>,
+    counter: &'a mut usize,
     left: u32,
 }
 
@@ -143,7 +196,11 @@ impl<T> Iterator for EjectIter<'_, T> {
             return None;
         }
         self.left -= 1;
-        self.q.pop_front()
+        let msg = self.q.pop_front();
+        if msg.is_some() {
+            *self.counter -= 1;
+        }
+        msg
     }
 }
 
@@ -208,6 +265,47 @@ mod tests {
             n.step(now);
         }
         assert_eq!(n.pop(0).collect::<Vec<_>>(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn probes_track_arrivals_blocks_and_horizon() {
+        let mut n: Network<u32> = Network::new(2, 5, 1, 1);
+        assert!(!n.can_deliver(0));
+        assert_eq!(n.earliest_arrival(0), None);
+        n.send(0, 0, 1);
+        n.send(0, 0, 2);
+        n.send(3, 1, 3);
+        // Nothing arrives before the latency elapses.
+        assert!(!n.can_deliver(4));
+        assert_eq!(n.earliest_arrival(4), Some(5));
+        assert!(n.can_deliver(5));
+        n.step(5);
+        assert!(n.has_ejected());
+        // dst 0's second message arrived but its 1-deep queue is full.
+        assert_eq!(n.blocked_heads(5), 1);
+        assert!(!n.can_deliver(5), "only the blocked head remains at 5");
+        // dst 1's message is the sole future arrival.
+        assert_eq!(n.earliest_arrival(5), Some(8));
+        assert_eq!(n.pop_one(0), Some(1));
+        assert!(n.can_deliver(5), "freed slot unblocks the head");
+    }
+
+    #[test]
+    fn ejected_count_stays_consistent_across_drain_paths() {
+        let mut n: Network<u32> = Network::new(2, 0, 4, 2);
+        for i in 0..4 {
+            n.send(0, (i % 2) as usize, i);
+        }
+        n.step(0);
+        assert_eq!(n.in_flight(), 4);
+        assert!(n.has_ejected());
+        let _ = n.pop(0).collect::<Vec<_>>(); // iterator path
+        assert_eq!(n.in_flight(), 2);
+        let _ = n.pop_one(1); // single-pop path
+        assert_eq!(n.in_flight(), 1);
+        let _ = n.pop_one(1);
+        assert!(!n.has_ejected());
+        assert_eq!(n.in_flight(), 0);
     }
 
     #[test]

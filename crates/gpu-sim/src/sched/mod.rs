@@ -46,6 +46,15 @@ pub trait WarpScheduler: Send {
     /// Choose one warp to issue at `now`.
     fn pick(&mut self, now: Cycle, can_issue: &mut dyn FnMut(WarpSlot) -> bool)
         -> Option<WarpSlot>;
+    /// Whether [`Self::pick`] would return `Some` for this `can_issue`
+    /// predicate, *without* mutating scheduler state (`pick` may advance
+    /// rotation cursors on success, so it cannot be used as a probe).
+    /// The fast-forward clock skip relies on this being boolean-equal to
+    /// `pick(..).is_some()`; the conservative default (`true`) merely
+    /// disables skipping for schedulers that do not override it.
+    fn has_candidate(&self, _can_issue: &mut dyn FnMut(WarpSlot) -> bool) -> bool {
+        true
+    }
 }
 
 /// Loose round-robin over all resident warps.
@@ -95,6 +104,10 @@ impl WarpScheduler for LrrScheduler {
             }
         }
         None
+    }
+
+    fn has_candidate(&self, can_issue: &mut dyn FnMut(WarpSlot) -> bool) -> bool {
+        self.warps.iter().any(|&w| can_issue(w))
     }
 }
 
@@ -186,6 +199,12 @@ impl WarpScheduler for GtoScheduler {
             }
         }
         None
+    }
+
+    fn has_candidate(&self, can_issue: &mut dyn FnMut(WarpSlot) -> bool) -> bool {
+        // `leading` and `current` are always members of `warps`, so the
+        // launch-order scan alone decides whether any pick can succeed.
+        self.warps.iter().any(|&w| can_issue(w))
     }
 }
 

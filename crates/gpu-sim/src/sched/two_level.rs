@@ -294,6 +294,12 @@ impl WarpScheduler for TwoLevelScheduler {
         // Oldest-first within the (priority-ordered) ready queue.
         self.ready.iter().copied().find(|&w| can_issue(w))
     }
+
+    fn has_candidate(&self, can_issue: &mut dyn FnMut(WarpSlot) -> bool) -> bool {
+        // Promotion happens only in event handlers, never inside `pick`,
+        // so the ready queue alone decides issueability.
+        self.ready.iter().any(|&w| can_issue(w))
+    }
 }
 
 #[cfg(test)]

@@ -71,7 +71,13 @@ pub struct Sm {
     pub stats: Stats,
     scratch_lines: Vec<Addr>,
     pf_scratch: Vec<PrefetchRequest>,
+    /// Retired `MemInst` line buffers, reused so the steady-state issue
+    /// path allocates nothing.
+    line_pool: Vec<Vec<Addr>>,
     active_warps: usize,
+    /// Warps currently in [`WarpState::WaitingMem`], kept incrementally
+    /// so the per-cycle `mem_wait_cycles` check is O(1).
+    waiting_mem: usize,
 }
 
 impl Sm {
@@ -108,7 +114,9 @@ impl Sm {
             stats: Stats::default(),
             scratch_lines: Vec::with_capacity(32),
             pf_scratch: Vec::with_capacity(64),
+            line_pool: Vec::new(),
             active_warps: 0,
+            waiting_mem: 0,
         }
     }
 
@@ -227,6 +235,7 @@ impl Sm {
         warp.outstanding_loads -= 1;
         if warp.outstanding_loads == 0 && warp.state == WarpState::WaitingMem {
             warp.state = WarpState::Ready;
+            self.waiting_mem -= 1;
             self.scheduler.on_ready_again(w);
         }
     }
@@ -237,8 +246,110 @@ impl Sm {
         self.mature_hits(now);
         self.ldst_cycle(now);
         self.issue_cycle(now, kernel, completed);
-        if self.warps.iter().any(|w| w.state == WarpState::WaitingMem) {
+        if self.waiting_mem > 0 {
             self.stats.mem_wait_cycles += 1;
+        }
+    }
+
+    /// Whether a [`Self::step`] at `now` would change any architectural
+    /// or statistics state — the SM leg of the fast-forward probe. Must
+    /// stay in lockstep with the step path: every `true` arm corresponds
+    /// to an action `step` would take this cycle, and `false` means the
+    /// cycle is provably a no-op (given empty inject queues, which the
+    /// GPU-level probe checks via the first arm).
+    pub fn can_progress(&self, now: Cycle, kernel: &Kernel) -> bool {
+        // A matured L1 hit completes a load.
+        if self.hit_pipe.front().is_some_and(|&(t, _)| t <= now) {
+            return true;
+        }
+        // Outbound traffic: the GPU drains these into the request
+        // networks every cycle, unconditionally.
+        if !self.inject_q.is_empty() || !self.pf_inject_q.is_empty() {
+            return true;
+        }
+        // Demand port. `inject_q` is empty here, so the outbound
+        // backpressure arms cannot fire: a store head always advances,
+        // and a load head advances unless its sole recourse is an MSHR
+        // reservation that fails.
+        if let Some(inst) = self.mem_q.front() {
+            if inst.is_store {
+                return true;
+            }
+            let line = inst.lines[inst.next];
+            if self.l1d.probe(line)
+                || self.pf_inflight.contains_key(&line)
+                || self.mshr.can_merge(line)
+                || (!self.mshr.contains(line) && self.mshr.free() > 0)
+            {
+                return true;
+            }
+        }
+        // Prefetch port: the head ages out, drops as redundant, or
+        // issues (`pf_inject_q` is empty here, so only the in-flight
+        // cap can block it).
+        if let Some(&(t, ref req)) = self.pf_q.front() {
+            if now.saturating_sub(t) > self.cfg.prefetch_max_age as Cycle
+                || self.l1d.probe(req.line)
+                || self.mshr.contains(req.line)
+                || self.pf_inflight.contains_key(&req.line)
+                || self.pf_inflight.len() < self.cfg.prefetch_queue_depth
+            {
+                return true;
+            }
+        }
+        // Issue stage: any schedulable warp. The closure is the same
+        // predicate `issue_cycle` hands to `pick`.
+        if self.active_warps > 0 {
+            let mem_q_open = self.mem_q.len() < self.cfg.ldst_queue_depth;
+            let warps = &self.warps;
+            let program = &kernel.program;
+            let mut can_issue = |w: WarpSlot| {
+                let warp = &warps[w];
+                warp.can_issue(now) && !(program.op(warp.pc).is_mem() && !mem_q_open)
+            };
+            if self.scheduler.has_candidate(&mut can_issue) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Earliest future cycle (strictly after `now`) at which this SM can
+    /// make progress on its own — without any external fill. Returns
+    /// `None` when the SM is purely waiting on the memory system.
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        let hit = self
+            .hit_pipe
+            .front()
+            .map(|&(t, _)| t)
+            .filter(|&t| t > now);
+        // Execution-latency timers on Ready warps (over-approximation:
+        // a wake may still find nothing issuable, which is harmless).
+        let wake = self.warps.iter().filter_map(|w| w.wake_event(now)).min();
+        // The queued prefetch head ages out when `now' - t` first
+        // exceeds `prefetch_max_age`.
+        let pf_age = self
+            .pf_q
+            .front()
+            .map(|&(t, _)| t + self.cfg.prefetch_max_age as Cycle + 1);
+        [hit, wake, pf_age].into_iter().flatten().min()
+    }
+
+    /// Replicate the statistics side effects of `delta` quiescent naive
+    /// steps (cycles in which [`Self::can_progress`] is `false`).
+    pub fn account_skipped(&mut self, delta: u64) {
+        if self.active_warps > 0 {
+            // `issue_cycle` finds no candidate every skipped cycle.
+            self.stats.stall_cycles += delta;
+        }
+        if self.waiting_mem > 0 {
+            self.stats.mem_wait_cycles += delta;
+        }
+        if !self.mem_q.is_empty() {
+            // The LD/ST head is a load whose only path is a failing MSHR
+            // reservation (all other head outcomes count as progress),
+            // and it replays once per cycle.
+            self.stats.l1d_reservation_fails += delta;
         }
     }
 
@@ -357,8 +468,18 @@ impl Sm {
         let inst = self.mem_q.front_mut().expect("advance on empty queue");
         inst.next += 1;
         if inst.next == inst.lines.len() {
-            self.mem_q.pop_front();
+            let inst = self.mem_q.pop_front().expect("checked non-empty");
+            self.line_pool.push(inst.lines);
         }
+    }
+
+    /// A line buffer for a new [`MemInst`], holding a copy of
+    /// `scratch_lines`: recycled from the pool when possible.
+    fn take_lines(&mut self) -> Vec<Addr> {
+        let mut lines = self.line_pool.pop().unwrap_or_default();
+        lines.clear();
+        lines.extend_from_slice(&self.scratch_lines);
+        lines
     }
 
     /// Returns `false` when the prefetch queue is empty or blocked.
@@ -506,10 +627,11 @@ impl Sm {
                 warp.outstanding_loads += self.scratch_lines.len() as u32;
                 warp.pc += 1;
                 self.stats.warp_instructions += 1;
+                let lines = self.take_lines();
                 self.mem_q.push_back(MemInst {
                     warp: w,
                     is_store: false,
-                    lines: self.scratch_lines.clone(),
+                    lines,
                     next: 0,
                 });
                 let obs = DemandObservation {
@@ -547,10 +669,11 @@ impl Sm {
                 );
                 self.warps[w].pc += 1;
                 self.stats.warp_instructions += 1;
+                let lines = self.take_lines();
                 self.mem_q.push_back(MemInst {
                     warp: w,
                     is_store: true,
-                    lines: self.scratch_lines.clone(),
+                    lines,
                     next: 0,
                 });
             }
@@ -559,6 +682,7 @@ impl Sm {
                 warp.pc += 1;
                 if warp.outstanding_loads > 0 {
                     warp.state = WarpState::WaitingMem;
+                    self.waiting_mem += 1;
                     self.scheduler.on_long_latency(w);
                 }
             }

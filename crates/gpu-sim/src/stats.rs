@@ -6,10 +6,8 @@
 //! prefetch-to-demand distance (Fig. 14), and the activity counts the
 //! energy model consumes (Fig. 15).
 
-use serde::{Deserialize, Serialize};
-
 /// Aggregate counters for one simulation run.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Stats {
     /// Core cycles simulated until kernel completion.
     pub cycles: u64,

@@ -11,10 +11,8 @@
 
 use caps_core::hardware::{CAPS_ENERGY_PER_ACCESS_PJ, CAPS_STATIC_POWER_UW};
 use caps_gpu_sim::stats::Stats;
-use serde::{Deserialize, Serialize};
-
 /// Per-event dynamic energies (nJ) and static power (W).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyModel {
     /// Energy per warp instruction (32 lanes of decode+execute), nJ.
     pub inst_nj: f64,
@@ -54,7 +52,7 @@ impl Default for EnergyModel {
 }
 
 /// Energy breakdown of one run, in millijoules.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct EnergyBreakdown {
     /// Core dynamic (instruction) energy.
     pub core_mj: f64,

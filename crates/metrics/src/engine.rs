@@ -11,10 +11,8 @@ use caps_core::{caps_factory, CtaAwarePrefetcher};
 use caps_gpu_sim::config::{GpuConfig, SchedulerKind};
 use caps_gpu_sim::prefetch::{null_factory, PrefetcherFactory};
 use caps_prefetchers as base;
-use serde::{Deserialize, Serialize};
-
 /// One evaluated configuration (a bar color in Fig. 10–15).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Engine {
     /// Two-level scheduler, no prefetching (the normalization baseline).
     Baseline,

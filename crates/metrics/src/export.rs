@@ -1,20 +1,137 @@
 //! Result serialization: run records round-trip through JSON so figure
 //! data can be archived, diffed, and post-processed outside Rust.
+//!
+//! Built on the in-repo [`caps_json`] crate (the build runs with no
+//! registry access): a field-list macro generates both directions of the
+//! conversion, so adding a counter to [`Stats`] only requires extending
+//! one list here. `u64` counters round-trip exactly; floats go through
+//! shortest-roundtrip formatting and come back bit-identical.
 
 use std::io::Write as _;
 use std::path::Path;
 
+use caps_gpu_sim::stats::Stats;
+use caps_json::{obj, Error, Value};
+
+use crate::energy::EnergyBreakdown;
 use crate::harness::RunRecord;
 
+/// Apply a macro to every `Stats` field (all `u64`).
+macro_rules! for_each_stats_field {
+    ($m:ident) => {
+        $m!(
+            cycles,
+            warp_instructions,
+            stall_cycles,
+            mem_wait_cycles,
+            l1d_demand_accesses,
+            l1d_demand_hits,
+            l1d_demand_misses,
+            l1d_mshr_merges,
+            l1d_reservation_fails,
+            store_accesses,
+            prefetch_issued,
+            prefetch_dropped,
+            prefetch_useful,
+            prefetch_late,
+            prefetch_early_evicted,
+            prefetch_unused_resident,
+            prefetch_distance_sum,
+            prefetch_distance_count,
+            prefetch_table_accesses,
+            prefetch_mispredicts,
+            prefetch_wakeups,
+            icnt_requests,
+            icnt_replies,
+            icnt_stalls,
+            l2_accesses,
+            l2_hits,
+            l2_misses,
+            dram_reads,
+            dram_writes,
+            dram_row_hits,
+            dram_row_misses,
+            dram_queue_stalls,
+            ctas_launched,
+            ctas_completed
+        )
+    };
+}
+
+/// Apply a macro to every `EnergyBreakdown` field (all `f64`).
+macro_rules! for_each_energy_field {
+    ($m:ident) => {
+        $m!(core_mj, l1_mj, l2_mj, dram_mj, icnt_mj, static_mj, caps_mj)
+    };
+}
+
+fn stats_to_value(s: &Stats) -> Value {
+    macro_rules! emit {
+        ($($f:ident),*) => {
+            obj(vec![$((stringify!($f), Value::UInt(s.$f)),)*])
+        };
+    }
+    for_each_stats_field!(emit)
+}
+
+fn stats_from_value(v: &Value) -> Result<Stats, Error> {
+    let mut s = Stats::default();
+    macro_rules! read {
+        ($($f:ident),*) => {
+            $(s.$f = v.require(stringify!($f))?.as_u64()?;)*
+        };
+    }
+    for_each_stats_field!(read);
+    Ok(s)
+}
+
+fn energy_to_value(e: &EnergyBreakdown) -> Value {
+    macro_rules! emit {
+        ($($f:ident),*) => {
+            obj(vec![$((stringify!($f), Value::Float(e.$f)),)*])
+        };
+    }
+    for_each_energy_field!(emit)
+}
+
+fn energy_from_value(v: &Value) -> Result<EnergyBreakdown, Error> {
+    let mut e = EnergyBreakdown::default();
+    macro_rules! read {
+        ($($f:ident),*) => {
+            $(e.$f = v.require(stringify!($f))?.as_f64()?;)*
+        };
+    }
+    for_each_energy_field!(read);
+    Ok(e)
+}
+
+fn record_to_value(r: &RunRecord) -> Value {
+    obj(vec![
+        ("workload", Value::Str(r.workload.clone())),
+        ("engine", Value::Str(r.engine.clone())),
+        ("stats", stats_to_value(&r.stats)),
+        ("energy", energy_to_value(&r.energy)),
+    ])
+}
+
+fn record_from_value(v: &Value) -> Result<RunRecord, Error> {
+    Ok(RunRecord {
+        workload: v.require("workload")?.as_str()?.to_string(),
+        engine: v.require("engine")?.as_str()?.to_string(),
+        stats: stats_from_value(v.require("stats")?)?,
+        energy: energy_from_value(v.require("energy")?)?,
+    })
+}
+
 /// Serialize records to a JSON string (pretty-printed, stable field
-/// order via serde).
+/// order from the field-list macros above).
 pub fn to_json(records: &[RunRecord]) -> String {
-    serde_json::to_string_pretty(records).expect("run records always serialize")
+    Value::Arr(records.iter().map(record_to_value).collect()).pretty()
 }
 
 /// Parse records back from JSON.
-pub fn from_json(s: &str) -> Result<Vec<RunRecord>, serde_json::Error> {
-    serde_json::from_str(s)
+pub fn from_json(s: &str) -> Result<Vec<RunRecord>, Error> {
+    Value::parse(s)?.as_arr()?.iter().map(record_from_value).collect()
 }
 
 /// Write records to `path` as JSON.
@@ -63,5 +180,12 @@ mod tests {
     #[test]
     fn malformed_json_is_an_error() {
         assert!(from_json("{not json").is_err());
+    }
+
+    #[test]
+    fn missing_stats_field_is_an_error() {
+        let r = run_one(&RunSpec::small(Workload::Scn, Engine::Baseline));
+        let json = to_json(&[r]).replace("\"cycles\"", "\"cycels\"");
+        assert!(from_json(&json).is_err());
     }
 }

@@ -2,18 +2,17 @@
 //!
 //! One simulation is strictly single-threaded (cycle accuracy), but the
 //! evaluation matrix — engines × benchmarks × configuration sweeps — is
-//! embarrassingly parallel. The harness fans runs out over crossbeam
-//! scoped threads with a work-stealing index, keeping results
+//! embarrassingly parallel. The harness fans runs out over std scoped
+//! threads with a work-stealing index, keeping results
 //! order-stable and every run deterministic.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use caps_gpu_sim::config::GpuConfig;
 use caps_gpu_sim::gpu::Gpu;
 use caps_gpu_sim::stats::Stats;
 use caps_workloads::{Scale, Workload};
-use parking_lot::Mutex;
-use serde::{Deserialize, Serialize};
 
 use crate::energy::{EnergyBreakdown, EnergyModel};
 use crate::engine::Engine;
@@ -54,7 +53,7 @@ impl RunSpec {
 }
 
 /// The outcome of one run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RunRecord {
     /// Benchmark abbreviation.
     pub workload: String,
@@ -75,10 +74,25 @@ impl RunRecord {
 
 /// Execute one spec (blocking).
 pub fn run_one(spec: &RunSpec) -> RunRecord {
+    run_one_inner(spec, None)
+}
+
+/// Execute one spec with event-horizon fast-forward explicitly on or
+/// off, overriding the `GPU_SIM_NO_SKIP` environment default. Both
+/// settings produce bit-identical records; differential tests and the
+/// throughput benchmark compare the two.
+pub fn run_one_with_fast_forward(spec: &RunSpec, fast_forward: bool) -> RunRecord {
+    run_one_inner(spec, Some(fast_forward))
+}
+
+fn run_one_inner(spec: &RunSpec, fast_forward: Option<bool>) -> RunRecord {
     let kernel = spec.workload.kernel(spec.scale);
     let cfg = spec.engine.configure(&spec.base_config);
     let factory = spec.engine.factory();
     let mut gpu = Gpu::new(cfg, kernel, &*factory);
+    if let Some(on) = fast_forward {
+        gpu.set_fast_forward(on);
+    }
     let launches = match spec.scale {
         Scale::Full => spec.workload.launches(),
         Scale::Small => 1,
@@ -91,6 +105,17 @@ pub fn run_one(spec: &RunSpec) -> RunRecord {
         stats,
         energy,
     }
+}
+
+/// Worker-count override for [`run_matrix`]: 0 = auto-detect.
+static DEFAULT_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Set the worker count used by [`run_matrix`] (and everything built on
+/// it — the figure modules, the sweep driver). `0` restores the default
+/// auto-detection from `available_parallelism`. Binaries expose this as
+/// a `--threads N` flag.
+pub fn set_default_threads(threads: usize) {
+    DEFAULT_THREADS.store(threads, Ordering::Relaxed);
 }
 
 /// Execute a matrix of specs in parallel; results are index-aligned with
@@ -107,29 +132,31 @@ pub fn run_matrix_with_threads(specs: &[RunSpec], threads: usize) -> Vec<RunReco
     let threads = threads.clamp(1, specs.len());
     let next = AtomicUsize::new(0);
     let results: Vec<Mutex<Option<RunRecord>>> = specs.iter().map(|_| Mutex::new(None)).collect();
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= specs.len() {
                     break;
                 }
                 let record = run_one(&specs[i]);
-                *results[i].lock() = Some(record);
+                *results[i].lock().unwrap() = Some(record);
             });
         }
-    })
-    .expect("harness worker panicked");
+    });
     results
         .into_iter()
-        .map(|m| m.into_inner().expect("every spec produced a record"))
+        .map(|m| m.into_inner().unwrap().expect("every spec produced a record"))
         .collect()
 }
 
 fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
+    match DEFAULT_THREADS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4),
+        n => n,
+    }
 }
 
 #[cfg(test)]

@@ -8,8 +8,6 @@
 
 use caps_gpu_sim::config::GpuConfig;
 use caps_workloads::{Scale, Workload};
-use serde::{Deserialize, Serialize};
-
 use crate::engine::Engine;
 use crate::harness::{run_matrix, RunSpec};
 use crate::report::mean;
@@ -24,7 +22,7 @@ pub struct SweepPoint {
 
 /// The result of a sweep: per point, the mean baseline-normalized IPC of
 /// the swept engine across the workload set.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SweepResult {
     /// Which knob was swept.
     pub axis: String,

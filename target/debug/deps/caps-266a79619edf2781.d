@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/caps-266a79619edf2781.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcaps-266a79619edf2781.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libcaps-266a79619edf2781.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/caps-daca9780fc30d623.d: src/lib.rs
+
+/root/repo/target/debug/deps/caps-daca9780fc30d623: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/caps_bench-c0752fb5b28e43de.d: crates/bench/src/lib.rs crates/bench/src/fig01.rs crates/bench/src/fig04.rs crates/bench/src/fig05.rs crates/bench/src/fig10.rs crates/bench/src/fig11.rs crates/bench/src/fig12.rs crates/bench/src/fig13.rs crates/bench/src/fig14.rs crates/bench/src/fig15.rs crates/bench/src/tables.rs
+
+/root/repo/target/debug/deps/libcaps_bench-c0752fb5b28e43de.rlib: crates/bench/src/lib.rs crates/bench/src/fig01.rs crates/bench/src/fig04.rs crates/bench/src/fig05.rs crates/bench/src/fig10.rs crates/bench/src/fig11.rs crates/bench/src/fig12.rs crates/bench/src/fig13.rs crates/bench/src/fig14.rs crates/bench/src/fig15.rs crates/bench/src/tables.rs
+
+/root/repo/target/debug/deps/libcaps_bench-c0752fb5b28e43de.rmeta: crates/bench/src/lib.rs crates/bench/src/fig01.rs crates/bench/src/fig04.rs crates/bench/src/fig05.rs crates/bench/src/fig10.rs crates/bench/src/fig11.rs crates/bench/src/fig12.rs crates/bench/src/fig13.rs crates/bench/src/fig14.rs crates/bench/src/fig15.rs crates/bench/src/tables.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/fig01.rs:
+crates/bench/src/fig04.rs:
+crates/bench/src/fig05.rs:
+crates/bench/src/fig10.rs:
+crates/bench/src/fig11.rs:
+crates/bench/src/fig12.rs:
+crates/bench/src/fig13.rs:
+crates/bench/src/fig14.rs:
+crates/bench/src/fig15.rs:
+crates/bench/src/tables.rs:

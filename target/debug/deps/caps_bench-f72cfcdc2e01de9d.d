@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/caps_bench-f72cfcdc2e01de9d.d: crates/bench/src/lib.rs crates/bench/src/fig01.rs crates/bench/src/fig04.rs crates/bench/src/fig05.rs crates/bench/src/fig10.rs crates/bench/src/fig11.rs crates/bench/src/fig12.rs crates/bench/src/fig13.rs crates/bench/src/fig14.rs crates/bench/src/fig15.rs crates/bench/src/tables.rs
+
+/root/repo/target/debug/deps/caps_bench-f72cfcdc2e01de9d: crates/bench/src/lib.rs crates/bench/src/fig01.rs crates/bench/src/fig04.rs crates/bench/src/fig05.rs crates/bench/src/fig10.rs crates/bench/src/fig11.rs crates/bench/src/fig12.rs crates/bench/src/fig13.rs crates/bench/src/fig14.rs crates/bench/src/fig15.rs crates/bench/src/tables.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/fig01.rs:
+crates/bench/src/fig04.rs:
+crates/bench/src/fig05.rs:
+crates/bench/src/fig10.rs:
+crates/bench/src/fig11.rs:
+crates/bench/src/fig12.rs:
+crates/bench/src/fig13.rs:
+crates/bench/src/fig14.rs:
+crates/bench/src/fig15.rs:
+crates/bench/src/tables.rs:

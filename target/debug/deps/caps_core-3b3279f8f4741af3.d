@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/caps_core-3b3279f8f4741af3.d: crates/core/src/lib.rs crates/core/src/cap.rs crates/core/src/dist.rs crates/core/src/hardware.rs crates/core/src/pas.rs crates/core/src/per_cta.rs
+
+/root/repo/target/debug/deps/caps_core-3b3279f8f4741af3: crates/core/src/lib.rs crates/core/src/cap.rs crates/core/src/dist.rs crates/core/src/hardware.rs crates/core/src/pas.rs crates/core/src/per_cta.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cap.rs:
+crates/core/src/dist.rs:
+crates/core/src/hardware.rs:
+crates/core/src/pas.rs:
+crates/core/src/per_cta.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/caps_core-59c094bd0e6e3705.d: crates/core/src/lib.rs crates/core/src/cap.rs crates/core/src/dist.rs crates/core/src/hardware.rs crates/core/src/pas.rs crates/core/src/per_cta.rs
+
+/root/repo/target/debug/deps/libcaps_core-59c094bd0e6e3705.rlib: crates/core/src/lib.rs crates/core/src/cap.rs crates/core/src/dist.rs crates/core/src/hardware.rs crates/core/src/pas.rs crates/core/src/per_cta.rs
+
+/root/repo/target/debug/deps/libcaps_core-59c094bd0e6e3705.rmeta: crates/core/src/lib.rs crates/core/src/cap.rs crates/core/src/dist.rs crates/core/src/hardware.rs crates/core/src/pas.rs crates/core/src/per_cta.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cap.rs:
+crates/core/src/dist.rs:
+crates/core/src/hardware.rs:
+crates/core/src/pas.rs:
+crates/core/src/per_cta.rs:

@@ -1,0 +1,25 @@
+/root/repo/target/debug/deps/caps_gpu_sim-68168bf1055ba1c1.d: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/cache.rs crates/gpu-sim/src/coalescer.rs crates/gpu-sim/src/config.rs crates/gpu-sim/src/cta.rs crates/gpu-sim/src/cta_scheduler.rs crates/gpu-sim/src/dram.rs crates/gpu-sim/src/gpu.rs crates/gpu-sim/src/interconnect.rs crates/gpu-sim/src/isa.rs crates/gpu-sim/src/kernel.rs crates/gpu-sim/src/mshr.rs crates/gpu-sim/src/partition.rs crates/gpu-sim/src/prefetch.rs crates/gpu-sim/src/sched/mod.rs crates/gpu-sim/src/sched/two_level.rs crates/gpu-sim/src/sm.rs crates/gpu-sim/src/stats.rs crates/gpu-sim/src/trace.rs crates/gpu-sim/src/types.rs crates/gpu-sim/src/warp.rs
+
+/root/repo/target/debug/deps/caps_gpu_sim-68168bf1055ba1c1: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/cache.rs crates/gpu-sim/src/coalescer.rs crates/gpu-sim/src/config.rs crates/gpu-sim/src/cta.rs crates/gpu-sim/src/cta_scheduler.rs crates/gpu-sim/src/dram.rs crates/gpu-sim/src/gpu.rs crates/gpu-sim/src/interconnect.rs crates/gpu-sim/src/isa.rs crates/gpu-sim/src/kernel.rs crates/gpu-sim/src/mshr.rs crates/gpu-sim/src/partition.rs crates/gpu-sim/src/prefetch.rs crates/gpu-sim/src/sched/mod.rs crates/gpu-sim/src/sched/two_level.rs crates/gpu-sim/src/sm.rs crates/gpu-sim/src/stats.rs crates/gpu-sim/src/trace.rs crates/gpu-sim/src/types.rs crates/gpu-sim/src/warp.rs
+
+crates/gpu-sim/src/lib.rs:
+crates/gpu-sim/src/cache.rs:
+crates/gpu-sim/src/coalescer.rs:
+crates/gpu-sim/src/config.rs:
+crates/gpu-sim/src/cta.rs:
+crates/gpu-sim/src/cta_scheduler.rs:
+crates/gpu-sim/src/dram.rs:
+crates/gpu-sim/src/gpu.rs:
+crates/gpu-sim/src/interconnect.rs:
+crates/gpu-sim/src/isa.rs:
+crates/gpu-sim/src/kernel.rs:
+crates/gpu-sim/src/mshr.rs:
+crates/gpu-sim/src/partition.rs:
+crates/gpu-sim/src/prefetch.rs:
+crates/gpu-sim/src/sched/mod.rs:
+crates/gpu-sim/src/sched/two_level.rs:
+crates/gpu-sim/src/sm.rs:
+crates/gpu-sim/src/stats.rs:
+crates/gpu-sim/src/trace.rs:
+crates/gpu-sim/src/types.rs:
+crates/gpu-sim/src/warp.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/caps_json-f26f86630822bc0f.d: crates/json/src/lib.rs
+
+/root/repo/target/debug/deps/libcaps_json-f26f86630822bc0f.rlib: crates/json/src/lib.rs
+
+/root/repo/target/debug/deps/libcaps_json-f26f86630822bc0f.rmeta: crates/json/src/lib.rs
+
+crates/json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/caps_json-fde731685dd290eb.d: crates/json/src/lib.rs
+
+/root/repo/target/debug/deps/caps_json-fde731685dd290eb: crates/json/src/lib.rs
+
+crates/json/src/lib.rs:

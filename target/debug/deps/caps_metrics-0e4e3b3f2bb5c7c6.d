@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/caps_metrics-0e4e3b3f2bb5c7c6.d: crates/metrics/src/lib.rs crates/metrics/src/energy.rs crates/metrics/src/engine.rs crates/metrics/src/export.rs crates/metrics/src/harness.rs crates/metrics/src/report.rs crates/metrics/src/sweep.rs
+
+/root/repo/target/debug/deps/caps_metrics-0e4e3b3f2bb5c7c6: crates/metrics/src/lib.rs crates/metrics/src/energy.rs crates/metrics/src/engine.rs crates/metrics/src/export.rs crates/metrics/src/harness.rs crates/metrics/src/report.rs crates/metrics/src/sweep.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/energy.rs:
+crates/metrics/src/engine.rs:
+crates/metrics/src/export.rs:
+crates/metrics/src/harness.rs:
+crates/metrics/src/report.rs:
+crates/metrics/src/sweep.rs:

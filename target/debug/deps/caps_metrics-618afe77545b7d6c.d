@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/caps_metrics-618afe77545b7d6c.d: crates/metrics/src/lib.rs crates/metrics/src/energy.rs crates/metrics/src/engine.rs crates/metrics/src/export.rs crates/metrics/src/harness.rs crates/metrics/src/report.rs crates/metrics/src/sweep.rs
+
+/root/repo/target/debug/deps/libcaps_metrics-618afe77545b7d6c.rlib: crates/metrics/src/lib.rs crates/metrics/src/energy.rs crates/metrics/src/engine.rs crates/metrics/src/export.rs crates/metrics/src/harness.rs crates/metrics/src/report.rs crates/metrics/src/sweep.rs
+
+/root/repo/target/debug/deps/libcaps_metrics-618afe77545b7d6c.rmeta: crates/metrics/src/lib.rs crates/metrics/src/energy.rs crates/metrics/src/engine.rs crates/metrics/src/export.rs crates/metrics/src/harness.rs crates/metrics/src/report.rs crates/metrics/src/sweep.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/energy.rs:
+crates/metrics/src/engine.rs:
+crates/metrics/src/export.rs:
+crates/metrics/src/harness.rs:
+crates/metrics/src/report.rs:
+crates/metrics/src/sweep.rs:

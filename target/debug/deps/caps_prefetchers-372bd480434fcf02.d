@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/caps_prefetchers-372bd480434fcf02.d: crates/prefetchers/src/lib.rs crates/prefetchers/src/inter.rs crates/prefetchers/src/intra.rs crates/prefetchers/src/lap.rs crates/prefetchers/src/mta.rs crates/prefetchers/src/nlp.rs
+
+/root/repo/target/debug/deps/caps_prefetchers-372bd480434fcf02: crates/prefetchers/src/lib.rs crates/prefetchers/src/inter.rs crates/prefetchers/src/intra.rs crates/prefetchers/src/lap.rs crates/prefetchers/src/mta.rs crates/prefetchers/src/nlp.rs
+
+crates/prefetchers/src/lib.rs:
+crates/prefetchers/src/inter.rs:
+crates/prefetchers/src/intra.rs:
+crates/prefetchers/src/lap.rs:
+crates/prefetchers/src/mta.rs:
+crates/prefetchers/src/nlp.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/caps_prefetchers-e24f307a5a7be4a2.d: crates/prefetchers/src/lib.rs crates/prefetchers/src/inter.rs crates/prefetchers/src/intra.rs crates/prefetchers/src/lap.rs crates/prefetchers/src/mta.rs crates/prefetchers/src/nlp.rs
+
+/root/repo/target/debug/deps/libcaps_prefetchers-e24f307a5a7be4a2.rlib: crates/prefetchers/src/lib.rs crates/prefetchers/src/inter.rs crates/prefetchers/src/intra.rs crates/prefetchers/src/lap.rs crates/prefetchers/src/mta.rs crates/prefetchers/src/nlp.rs
+
+/root/repo/target/debug/deps/libcaps_prefetchers-e24f307a5a7be4a2.rmeta: crates/prefetchers/src/lib.rs crates/prefetchers/src/inter.rs crates/prefetchers/src/intra.rs crates/prefetchers/src/lap.rs crates/prefetchers/src/mta.rs crates/prefetchers/src/nlp.rs
+
+crates/prefetchers/src/lib.rs:
+crates/prefetchers/src/inter.rs:
+crates/prefetchers/src/intra.rs:
+crates/prefetchers/src/lap.rs:
+crates/prefetchers/src/mta.rs:
+crates/prefetchers/src/nlp.rs:

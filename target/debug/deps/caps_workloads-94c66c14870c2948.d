@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/caps_workloads-94c66c14870c2948.d: crates/workloads/src/lib.rs crates/workloads/src/dsl.rs crates/workloads/src/suite.rs crates/workloads/src/bfs.rs crates/workloads/src/bpr.rs crates/workloads/src/ccl.rs crates/workloads/src/cnv.rs crates/workloads/src/cp.rs crates/workloads/src/fft.rs crates/workloads/src/hsp.rs crates/workloads/src/hst.rs crates/workloads/src/jc1.rs crates/workloads/src/km.rs crates/workloads/src/lps.rs crates/workloads/src/mm.rs crates/workloads/src/mrq.rs crates/workloads/src/pvr.rs crates/workloads/src/scn.rs crates/workloads/src/ste.rs
+
+/root/repo/target/debug/deps/caps_workloads-94c66c14870c2948: crates/workloads/src/lib.rs crates/workloads/src/dsl.rs crates/workloads/src/suite.rs crates/workloads/src/bfs.rs crates/workloads/src/bpr.rs crates/workloads/src/ccl.rs crates/workloads/src/cnv.rs crates/workloads/src/cp.rs crates/workloads/src/fft.rs crates/workloads/src/hsp.rs crates/workloads/src/hst.rs crates/workloads/src/jc1.rs crates/workloads/src/km.rs crates/workloads/src/lps.rs crates/workloads/src/mm.rs crates/workloads/src/mrq.rs crates/workloads/src/pvr.rs crates/workloads/src/scn.rs crates/workloads/src/ste.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/dsl.rs:
+crates/workloads/src/suite.rs:
+crates/workloads/src/bfs.rs:
+crates/workloads/src/bpr.rs:
+crates/workloads/src/ccl.rs:
+crates/workloads/src/cnv.rs:
+crates/workloads/src/cp.rs:
+crates/workloads/src/fft.rs:
+crates/workloads/src/hsp.rs:
+crates/workloads/src/hst.rs:
+crates/workloads/src/jc1.rs:
+crates/workloads/src/km.rs:
+crates/workloads/src/lps.rs:
+crates/workloads/src/mm.rs:
+crates/workloads/src/mrq.rs:
+crates/workloads/src/pvr.rs:
+crates/workloads/src/scn.rs:
+crates/workloads/src/ste.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_kepler-2149b78381c5a772.d: crates/bench/src/bin/ext_kepler.rs
+
+/root/repo/target/debug/deps/ext_kepler-2149b78381c5a772: crates/bench/src/bin/ext_kepler.rs
+
+crates/bench/src/bin/ext_kepler.rs:

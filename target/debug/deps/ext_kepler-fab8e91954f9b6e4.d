@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_kepler-fab8e91954f9b6e4.d: crates/bench/src/bin/ext_kepler.rs
+
+/root/repo/target/debug/deps/ext_kepler-fab8e91954f9b6e4: crates/bench/src/bin/ext_kepler.rs
+
+crates/bench/src/bin/ext_kepler.rs:

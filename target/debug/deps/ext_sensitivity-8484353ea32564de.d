@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_sensitivity-8484353ea32564de.d: crates/bench/src/bin/ext_sensitivity.rs
+
+/root/repo/target/debug/deps/ext_sensitivity-8484353ea32564de: crates/bench/src/bin/ext_sensitivity.rs
+
+crates/bench/src/bin/ext_sensitivity.rs:

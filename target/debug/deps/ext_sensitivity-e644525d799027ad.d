@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_sensitivity-e644525d799027ad.d: crates/bench/src/bin/ext_sensitivity.rs
+
+/root/repo/target/debug/deps/ext_sensitivity-e644525d799027ad: crates/bench/src/bin/ext_sensitivity.rs
+
+crates/bench/src/bin/ext_sensitivity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fastforward-8c15d5845dbd0134.d: crates/metrics/tests/fastforward.rs
+
+/root/repo/target/debug/deps/fastforward-8c15d5845dbd0134: crates/metrics/tests/fastforward.rs
+
+crates/metrics/tests/fastforward.rs:

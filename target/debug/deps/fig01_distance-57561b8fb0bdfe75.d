@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig01_distance-57561b8fb0bdfe75.d: crates/bench/src/bin/fig01_distance.rs
+
+/root/repo/target/debug/deps/fig01_distance-57561b8fb0bdfe75: crates/bench/src/bin/fig01_distance.rs
+
+crates/bench/src/bin/fig01_distance.rs:

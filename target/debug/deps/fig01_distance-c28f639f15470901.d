@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig01_distance-c28f639f15470901.d: crates/bench/src/bin/fig01_distance.rs
+
+/root/repo/target/debug/deps/fig01_distance-c28f639f15470901: crates/bench/src/bin/fig01_distance.rs
+
+crates/bench/src/bin/fig01_distance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03_distribution-180bc99eb67196e8.d: crates/bench/src/bin/fig03_distribution.rs
+
+/root/repo/target/debug/deps/fig03_distribution-180bc99eb67196e8: crates/bench/src/bin/fig03_distribution.rs
+
+crates/bench/src/bin/fig03_distribution.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03_distribution-acc02d494207572c.d: crates/bench/src/bin/fig03_distribution.rs
+
+/root/repo/target/debug/deps/fig03_distribution-acc02d494207572c: crates/bench/src/bin/fig03_distribution.rs
+
+crates/bench/src/bin/fig03_distribution.rs:

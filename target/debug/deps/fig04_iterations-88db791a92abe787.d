@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig04_iterations-88db791a92abe787.d: crates/bench/src/bin/fig04_iterations.rs
+
+/root/repo/target/debug/deps/fig04_iterations-88db791a92abe787: crates/bench/src/bin/fig04_iterations.rs
+
+crates/bench/src/bin/fig04_iterations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig04_iterations-ac25824515ea37f6.d: crates/bench/src/bin/fig04_iterations.rs
+
+/root/repo/target/debug/deps/fig04_iterations-ac25824515ea37f6: crates/bench/src/bin/fig04_iterations.rs
+
+crates/bench/src/bin/fig04_iterations.rs:

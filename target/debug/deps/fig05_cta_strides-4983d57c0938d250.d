@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05_cta_strides-4983d57c0938d250.d: crates/bench/src/bin/fig05_cta_strides.rs
+
+/root/repo/target/debug/deps/fig05_cta_strides-4983d57c0938d250: crates/bench/src/bin/fig05_cta_strides.rs
+
+crates/bench/src/bin/fig05_cta_strides.rs:

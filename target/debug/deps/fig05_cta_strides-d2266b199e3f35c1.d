@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05_cta_strides-d2266b199e3f35c1.d: crates/bench/src/bin/fig05_cta_strides.rs
+
+/root/repo/target/debug/deps/fig05_cta_strides-d2266b199e3f35c1: crates/bench/src/bin/fig05_cta_strides.rs
+
+crates/bench/src/bin/fig05_cta_strides.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_ipc-a3fc3387191cb9f5.d: crates/bench/src/bin/fig10_ipc.rs
+
+/root/repo/target/debug/deps/fig10_ipc-a3fc3387191cb9f5: crates/bench/src/bin/fig10_ipc.rs
+
+crates/bench/src/bin/fig10_ipc.rs:

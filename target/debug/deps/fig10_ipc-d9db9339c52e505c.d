@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_ipc-d9db9339c52e505c.d: crates/bench/src/bin/fig10_ipc.rs
+
+/root/repo/target/debug/deps/fig10_ipc-d9db9339c52e505c: crates/bench/src/bin/fig10_ipc.rs
+
+crates/bench/src/bin/fig10_ipc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_cta_sweep-009e6ddeb574fd33.d: crates/bench/src/bin/fig11_cta_sweep.rs
+
+/root/repo/target/debug/deps/fig11_cta_sweep-009e6ddeb574fd33: crates/bench/src/bin/fig11_cta_sweep.rs
+
+crates/bench/src/bin/fig11_cta_sweep.rs:

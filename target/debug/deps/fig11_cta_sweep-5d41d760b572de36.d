@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_cta_sweep-5d41d760b572de36.d: crates/bench/src/bin/fig11_cta_sweep.rs
+
+/root/repo/target/debug/deps/fig11_cta_sweep-5d41d760b572de36: crates/bench/src/bin/fig11_cta_sweep.rs
+
+crates/bench/src/bin/fig11_cta_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_coverage_accuracy-3998771863b2bf91.d: crates/bench/src/bin/fig12_coverage_accuracy.rs
+
+/root/repo/target/debug/deps/fig12_coverage_accuracy-3998771863b2bf91: crates/bench/src/bin/fig12_coverage_accuracy.rs
+
+crates/bench/src/bin/fig12_coverage_accuracy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_coverage_accuracy-6b1edbfb638eaed1.d: crates/bench/src/bin/fig12_coverage_accuracy.rs
+
+/root/repo/target/debug/deps/fig12_coverage_accuracy-6b1edbfb638eaed1: crates/bench/src/bin/fig12_coverage_accuracy.rs
+
+crates/bench/src/bin/fig12_coverage_accuracy.rs:

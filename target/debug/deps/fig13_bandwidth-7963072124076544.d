@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_bandwidth-7963072124076544.d: crates/bench/src/bin/fig13_bandwidth.rs
+
+/root/repo/target/debug/deps/fig13_bandwidth-7963072124076544: crates/bench/src/bin/fig13_bandwidth.rs
+
+crates/bench/src/bin/fig13_bandwidth.rs:

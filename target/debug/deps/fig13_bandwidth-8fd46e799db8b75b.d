@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_bandwidth-8fd46e799db8b75b.d: crates/bench/src/bin/fig13_bandwidth.rs
+
+/root/repo/target/debug/deps/fig13_bandwidth-8fd46e799db8b75b: crates/bench/src/bin/fig13_bandwidth.rs
+
+crates/bench/src/bin/fig13_bandwidth.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_timeliness-3dd41ebcda48ae47.d: crates/bench/src/bin/fig14_timeliness.rs
+
+/root/repo/target/debug/deps/fig14_timeliness-3dd41ebcda48ae47: crates/bench/src/bin/fig14_timeliness.rs
+
+crates/bench/src/bin/fig14_timeliness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_timeliness-f0a4ad8d0ebe8ea1.d: crates/bench/src/bin/fig14_timeliness.rs
+
+/root/repo/target/debug/deps/fig14_timeliness-f0a4ad8d0ebe8ea1: crates/bench/src/bin/fig14_timeliness.rs
+
+crates/bench/src/bin/fig14_timeliness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_energy-9a51710246084eff.d: crates/bench/src/bin/fig15_energy.rs
+
+/root/repo/target/debug/deps/fig15_energy-9a51710246084eff: crates/bench/src/bin/fig15_energy.rs
+
+crates/bench/src/bin/fig15_energy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_energy-b3bb2758f9f089a5.d: crates/bench/src/bin/fig15_energy.rs
+
+/root/repo/target/debug/deps/fig15_energy-b3bb2758f9f089a5: crates/bench/src/bin/fig15_energy.rs
+
+crates/bench/src/bin/fig15_energy.rs:

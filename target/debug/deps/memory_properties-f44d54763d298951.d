@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/memory_properties-f44d54763d298951.d: crates/gpu-sim/tests/memory_properties.rs
+
+/root/repo/target/debug/deps/memory_properties-f44d54763d298951: crates/gpu-sim/tests/memory_properties.rs
+
+crates/gpu-sim/tests/memory_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-61c53f6fddfee76f.d: compat/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-61c53f6fddfee76f: compat/proptest/src/lib.rs
+
+compat/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-ad0ca9994e997d98.d: compat/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-ad0ca9994e997d98.rlib: compat/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-ad0ca9994e997d98.rmeta: compat/proptest/src/lib.rs
+
+compat/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_invariants-db7b9c64c42e7da2.d: tests/proptest_invariants.rs
+
+/root/repo/target/debug/deps/proptest_invariants-db7b9c64c42e7da2: tests/proptest_invariants.rs
+
+tests/proptest_invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-37d13ed02c321bc3.d: crates/core/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-37d13ed02c321bc3: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-d9f01ecf07a5ed13.d: crates/prefetchers/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-d9f01ecf07a5ed13: crates/prefetchers/tests/proptests.rs
+
+crates/prefetchers/tests/proptests.rs:

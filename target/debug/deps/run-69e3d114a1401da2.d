@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/run-69e3d114a1401da2.d: crates/bench/src/bin/run.rs
+
+/root/repo/target/debug/deps/run-69e3d114a1401da2: crates/bench/src/bin/run.rs
+
+crates/bench/src/bin/run.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/run-e7040075d1205918.d: crates/bench/src/bin/run.rs
+
+/root/repo/target/debug/deps/run-e7040075d1205918: crates/bench/src/bin/run.rs
+
+crates/bench/src/bin/run.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/run_all-0d07853a0658c023.d: crates/bench/src/bin/run_all.rs
+
+/root/repo/target/debug/deps/run_all-0d07853a0658c023: crates/bench/src/bin/run_all.rs
+
+crates/bench/src/bin/run_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/run_all-abee23c10eda99e6.d: crates/bench/src/bin/run_all.rs
+
+/root/repo/target/debug/deps/run_all-abee23c10eda99e6: crates/bench/src/bin/run_all.rs
+
+crates/bench/src/bin/run_all.rs:

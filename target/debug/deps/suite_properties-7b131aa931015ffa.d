@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/suite_properties-7b131aa931015ffa.d: crates/workloads/tests/suite_properties.rs
+
+/root/repo/target/debug/deps/suite_properties-7b131aa931015ffa: crates/workloads/tests/suite_properties.rs
+
+crates/workloads/tests/suite_properties.rs:

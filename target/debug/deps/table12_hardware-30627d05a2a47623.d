@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table12_hardware-30627d05a2a47623.d: crates/bench/src/bin/table12_hardware.rs
+
+/root/repo/target/debug/deps/table12_hardware-30627d05a2a47623: crates/bench/src/bin/table12_hardware.rs
+
+crates/bench/src/bin/table12_hardware.rs:

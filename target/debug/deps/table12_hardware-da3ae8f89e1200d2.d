@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table12_hardware-da3ae8f89e1200d2.d: crates/bench/src/bin/table12_hardware.rs
+
+/root/repo/target/debug/deps/table12_hardware-da3ae8f89e1200d2: crates/bench/src/bin/table12_hardware.rs
+
+crates/bench/src/bin/table12_hardware.rs:

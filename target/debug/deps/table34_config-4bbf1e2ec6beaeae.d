@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table34_config-4bbf1e2ec6beaeae.d: crates/bench/src/bin/table34_config.rs
+
+/root/repo/target/debug/deps/table34_config-4bbf1e2ec6beaeae: crates/bench/src/bin/table34_config.rs
+
+crates/bench/src/bin/table34_config.rs:

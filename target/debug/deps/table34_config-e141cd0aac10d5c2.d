@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table34_config-e141cd0aac10d5c2.d: crates/bench/src/bin/table34_config.rs
+
+/root/repo/target/debug/deps/table34_config-e141cd0aac10d5c2: crates/bench/src/bin/table34_config.rs
+
+crates/bench/src/bin/table34_config.rs:

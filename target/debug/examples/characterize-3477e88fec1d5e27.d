@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/characterize-3477e88fec1d5e27.d: crates/metrics/examples/characterize.rs
+
+/root/repo/target/debug/examples/characterize-3477e88fec1d5e27: crates/metrics/examples/characterize.rs
+
+crates/metrics/examples/characterize.rs:

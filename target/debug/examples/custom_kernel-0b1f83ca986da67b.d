@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_kernel-0b1f83ca986da67b.d: examples/custom_kernel.rs
+
+/root/repo/target/debug/examples/custom_kernel-0b1f83ca986da67b: examples/custom_kernel.rs
+
+examples/custom_kernel.rs:

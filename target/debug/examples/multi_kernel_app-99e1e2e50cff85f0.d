@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multi_kernel_app-99e1e2e50cff85f0.d: examples/multi_kernel_app.rs
+
+/root/repo/target/debug/examples/multi_kernel_app-99e1e2e50cff85f0: examples/multi_kernel_app.rs
+
+examples/multi_kernel_app.rs:

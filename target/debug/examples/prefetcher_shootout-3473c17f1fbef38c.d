@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/prefetcher_shootout-3473c17f1fbef38c.d: examples/prefetcher_shootout.rs
+
+/root/repo/target/debug/examples/prefetcher_shootout-3473c17f1fbef38c: examples/prefetcher_shootout.rs
+
+examples/prefetcher_shootout.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-a8e180f58ebf5495.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-a8e180f58ebf5495: examples/quickstart.rs
+
+examples/quickstart.rs:

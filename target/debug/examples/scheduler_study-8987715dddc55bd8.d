@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scheduler_study-8987715dddc55bd8.d: examples/scheduler_study.rs
+
+/root/repo/target/debug/examples/scheduler_study-8987715dddc55bd8: examples/scheduler_study.rs
+
+examples/scheduler_study.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/caps-9006f9157efb22ed.d: src/lib.rs
+
+/root/repo/target/release/deps/libcaps-9006f9157efb22ed.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libcaps-9006f9157efb22ed.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/caps_bench-57fc37e7ce1a2ba0.d: crates/bench/src/lib.rs crates/bench/src/fig01.rs crates/bench/src/fig04.rs crates/bench/src/fig05.rs crates/bench/src/fig10.rs crates/bench/src/fig11.rs crates/bench/src/fig12.rs crates/bench/src/fig13.rs crates/bench/src/fig14.rs crates/bench/src/fig15.rs crates/bench/src/tables.rs
+
+/root/repo/target/release/deps/libcaps_bench-57fc37e7ce1a2ba0.rlib: crates/bench/src/lib.rs crates/bench/src/fig01.rs crates/bench/src/fig04.rs crates/bench/src/fig05.rs crates/bench/src/fig10.rs crates/bench/src/fig11.rs crates/bench/src/fig12.rs crates/bench/src/fig13.rs crates/bench/src/fig14.rs crates/bench/src/fig15.rs crates/bench/src/tables.rs
+
+/root/repo/target/release/deps/libcaps_bench-57fc37e7ce1a2ba0.rmeta: crates/bench/src/lib.rs crates/bench/src/fig01.rs crates/bench/src/fig04.rs crates/bench/src/fig05.rs crates/bench/src/fig10.rs crates/bench/src/fig11.rs crates/bench/src/fig12.rs crates/bench/src/fig13.rs crates/bench/src/fig14.rs crates/bench/src/fig15.rs crates/bench/src/tables.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/fig01.rs:
+crates/bench/src/fig04.rs:
+crates/bench/src/fig05.rs:
+crates/bench/src/fig10.rs:
+crates/bench/src/fig11.rs:
+crates/bench/src/fig12.rs:
+crates/bench/src/fig13.rs:
+crates/bench/src/fig14.rs:
+crates/bench/src/fig15.rs:
+crates/bench/src/tables.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/caps_core-9d96a59ba12af8d4.d: crates/core/src/lib.rs crates/core/src/cap.rs crates/core/src/dist.rs crates/core/src/hardware.rs crates/core/src/pas.rs crates/core/src/per_cta.rs
+
+/root/repo/target/release/deps/libcaps_core-9d96a59ba12af8d4.rlib: crates/core/src/lib.rs crates/core/src/cap.rs crates/core/src/dist.rs crates/core/src/hardware.rs crates/core/src/pas.rs crates/core/src/per_cta.rs
+
+/root/repo/target/release/deps/libcaps_core-9d96a59ba12af8d4.rmeta: crates/core/src/lib.rs crates/core/src/cap.rs crates/core/src/dist.rs crates/core/src/hardware.rs crates/core/src/pas.rs crates/core/src/per_cta.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cap.rs:
+crates/core/src/dist.rs:
+crates/core/src/hardware.rs:
+crates/core/src/pas.rs:
+crates/core/src/per_cta.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/caps_json-5b05ad269a95472f.d: crates/json/src/lib.rs
+
+/root/repo/target/release/deps/libcaps_json-5b05ad269a95472f.rlib: crates/json/src/lib.rs
+
+/root/repo/target/release/deps/libcaps_json-5b05ad269a95472f.rmeta: crates/json/src/lib.rs
+
+crates/json/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/caps_metrics-2226b1a13a317bef.d: crates/metrics/src/lib.rs crates/metrics/src/energy.rs crates/metrics/src/engine.rs crates/metrics/src/export.rs crates/metrics/src/harness.rs crates/metrics/src/report.rs crates/metrics/src/sweep.rs
+
+/root/repo/target/release/deps/caps_metrics-2226b1a13a317bef: crates/metrics/src/lib.rs crates/metrics/src/energy.rs crates/metrics/src/engine.rs crates/metrics/src/export.rs crates/metrics/src/harness.rs crates/metrics/src/report.rs crates/metrics/src/sweep.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/energy.rs:
+crates/metrics/src/engine.rs:
+crates/metrics/src/export.rs:
+crates/metrics/src/harness.rs:
+crates/metrics/src/report.rs:
+crates/metrics/src/sweep.rs:

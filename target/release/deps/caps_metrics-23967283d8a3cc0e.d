@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/caps_metrics-23967283d8a3cc0e.d: crates/metrics/src/lib.rs crates/metrics/src/energy.rs crates/metrics/src/engine.rs crates/metrics/src/export.rs crates/metrics/src/harness.rs crates/metrics/src/report.rs crates/metrics/src/sweep.rs
+
+/root/repo/target/release/deps/libcaps_metrics-23967283d8a3cc0e.rlib: crates/metrics/src/lib.rs crates/metrics/src/energy.rs crates/metrics/src/engine.rs crates/metrics/src/export.rs crates/metrics/src/harness.rs crates/metrics/src/report.rs crates/metrics/src/sweep.rs
+
+/root/repo/target/release/deps/libcaps_metrics-23967283d8a3cc0e.rmeta: crates/metrics/src/lib.rs crates/metrics/src/energy.rs crates/metrics/src/engine.rs crates/metrics/src/export.rs crates/metrics/src/harness.rs crates/metrics/src/report.rs crates/metrics/src/sweep.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/energy.rs:
+crates/metrics/src/engine.rs:
+crates/metrics/src/export.rs:
+crates/metrics/src/harness.rs:
+crates/metrics/src/report.rs:
+crates/metrics/src/sweep.rs:

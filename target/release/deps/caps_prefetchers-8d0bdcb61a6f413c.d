@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/caps_prefetchers-8d0bdcb61a6f413c.d: crates/prefetchers/src/lib.rs crates/prefetchers/src/inter.rs crates/prefetchers/src/intra.rs crates/prefetchers/src/lap.rs crates/prefetchers/src/mta.rs crates/prefetchers/src/nlp.rs
+
+/root/repo/target/release/deps/libcaps_prefetchers-8d0bdcb61a6f413c.rlib: crates/prefetchers/src/lib.rs crates/prefetchers/src/inter.rs crates/prefetchers/src/intra.rs crates/prefetchers/src/lap.rs crates/prefetchers/src/mta.rs crates/prefetchers/src/nlp.rs
+
+/root/repo/target/release/deps/libcaps_prefetchers-8d0bdcb61a6f413c.rmeta: crates/prefetchers/src/lib.rs crates/prefetchers/src/inter.rs crates/prefetchers/src/intra.rs crates/prefetchers/src/lap.rs crates/prefetchers/src/mta.rs crates/prefetchers/src/nlp.rs
+
+crates/prefetchers/src/lib.rs:
+crates/prefetchers/src/inter.rs:
+crates/prefetchers/src/intra.rs:
+crates/prefetchers/src/lap.rs:
+crates/prefetchers/src/mta.rs:
+crates/prefetchers/src/nlp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_kepler-2751061020b2bc34.d: crates/bench/src/bin/ext_kepler.rs
+
+/root/repo/target/release/deps/ext_kepler-2751061020b2bc34: crates/bench/src/bin/ext_kepler.rs
+
+crates/bench/src/bin/ext_kepler.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_kepler-49415fe19749dc0d.d: crates/bench/src/bin/ext_kepler.rs
+
+/root/repo/target/release/deps/ext_kepler-49415fe19749dc0d: crates/bench/src/bin/ext_kepler.rs
+
+crates/bench/src/bin/ext_kepler.rs:

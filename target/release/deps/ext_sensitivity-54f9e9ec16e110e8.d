@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_sensitivity-54f9e9ec16e110e8.d: crates/bench/src/bin/ext_sensitivity.rs
+
+/root/repo/target/release/deps/ext_sensitivity-54f9e9ec16e110e8: crates/bench/src/bin/ext_sensitivity.rs
+
+crates/bench/src/bin/ext_sensitivity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_sensitivity-e2dde35186770e31.d: crates/bench/src/bin/ext_sensitivity.rs
+
+/root/repo/target/release/deps/ext_sensitivity-e2dde35186770e31: crates/bench/src/bin/ext_sensitivity.rs
+
+crates/bench/src/bin/ext_sensitivity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fastforward-e902386e0826bd3f.d: crates/metrics/tests/fastforward.rs
+
+/root/repo/target/release/deps/fastforward-e902386e0826bd3f: crates/metrics/tests/fastforward.rs
+
+crates/metrics/tests/fastforward.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig01_distance-878525d393b46882.d: crates/bench/src/bin/fig01_distance.rs
+
+/root/repo/target/release/deps/fig01_distance-878525d393b46882: crates/bench/src/bin/fig01_distance.rs
+
+crates/bench/src/bin/fig01_distance.rs:

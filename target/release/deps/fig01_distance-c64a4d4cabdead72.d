@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig01_distance-c64a4d4cabdead72.d: crates/bench/src/bin/fig01_distance.rs
+
+/root/repo/target/release/deps/fig01_distance-c64a4d4cabdead72: crates/bench/src/bin/fig01_distance.rs
+
+crates/bench/src/bin/fig01_distance.rs:

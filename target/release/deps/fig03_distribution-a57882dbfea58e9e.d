@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig03_distribution-a57882dbfea58e9e.d: crates/bench/src/bin/fig03_distribution.rs
+
+/root/repo/target/release/deps/fig03_distribution-a57882dbfea58e9e: crates/bench/src/bin/fig03_distribution.rs
+
+crates/bench/src/bin/fig03_distribution.rs:

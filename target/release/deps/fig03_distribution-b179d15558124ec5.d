@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig03_distribution-b179d15558124ec5.d: crates/bench/src/bin/fig03_distribution.rs
+
+/root/repo/target/release/deps/fig03_distribution-b179d15558124ec5: crates/bench/src/bin/fig03_distribution.rs
+
+crates/bench/src/bin/fig03_distribution.rs:

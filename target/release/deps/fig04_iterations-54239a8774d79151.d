@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig04_iterations-54239a8774d79151.d: crates/bench/src/bin/fig04_iterations.rs
+
+/root/repo/target/release/deps/fig04_iterations-54239a8774d79151: crates/bench/src/bin/fig04_iterations.rs
+
+crates/bench/src/bin/fig04_iterations.rs:

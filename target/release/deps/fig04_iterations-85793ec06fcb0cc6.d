@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig04_iterations-85793ec06fcb0cc6.d: crates/bench/src/bin/fig04_iterations.rs
+
+/root/repo/target/release/deps/fig04_iterations-85793ec06fcb0cc6: crates/bench/src/bin/fig04_iterations.rs
+
+crates/bench/src/bin/fig04_iterations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig05_cta_strides-4a6aec9b0dc08b95.d: crates/bench/src/bin/fig05_cta_strides.rs
+
+/root/repo/target/release/deps/fig05_cta_strides-4a6aec9b0dc08b95: crates/bench/src/bin/fig05_cta_strides.rs
+
+crates/bench/src/bin/fig05_cta_strides.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig05_cta_strides-d2fca23994be875b.d: crates/bench/src/bin/fig05_cta_strides.rs
+
+/root/repo/target/release/deps/fig05_cta_strides-d2fca23994be875b: crates/bench/src/bin/fig05_cta_strides.rs
+
+crates/bench/src/bin/fig05_cta_strides.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_ipc-4cef264490bb3074.d: crates/bench/src/bin/fig10_ipc.rs
+
+/root/repo/target/release/deps/fig10_ipc-4cef264490bb3074: crates/bench/src/bin/fig10_ipc.rs
+
+crates/bench/src/bin/fig10_ipc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_ipc-5de4859a47aaa6f4.d: crates/bench/src/bin/fig10_ipc.rs
+
+/root/repo/target/release/deps/fig10_ipc-5de4859a47aaa6f4: crates/bench/src/bin/fig10_ipc.rs
+
+crates/bench/src/bin/fig10_ipc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_cta_sweep-29bc8d6a50acc254.d: crates/bench/src/bin/fig11_cta_sweep.rs
+
+/root/repo/target/release/deps/fig11_cta_sweep-29bc8d6a50acc254: crates/bench/src/bin/fig11_cta_sweep.rs
+
+crates/bench/src/bin/fig11_cta_sweep.rs:

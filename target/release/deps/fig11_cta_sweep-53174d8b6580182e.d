@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_cta_sweep-53174d8b6580182e.d: crates/bench/src/bin/fig11_cta_sweep.rs
+
+/root/repo/target/release/deps/fig11_cta_sweep-53174d8b6580182e: crates/bench/src/bin/fig11_cta_sweep.rs
+
+crates/bench/src/bin/fig11_cta_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_coverage_accuracy-544dd380ce5a349f.d: crates/bench/src/bin/fig12_coverage_accuracy.rs
+
+/root/repo/target/release/deps/fig12_coverage_accuracy-544dd380ce5a349f: crates/bench/src/bin/fig12_coverage_accuracy.rs
+
+crates/bench/src/bin/fig12_coverage_accuracy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_coverage_accuracy-f27c19a9ab559ee3.d: crates/bench/src/bin/fig12_coverage_accuracy.rs
+
+/root/repo/target/release/deps/fig12_coverage_accuracy-f27c19a9ab559ee3: crates/bench/src/bin/fig12_coverage_accuracy.rs
+
+crates/bench/src/bin/fig12_coverage_accuracy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_bandwidth-66eee67a92f03eb2.d: crates/bench/src/bin/fig13_bandwidth.rs
+
+/root/repo/target/release/deps/fig13_bandwidth-66eee67a92f03eb2: crates/bench/src/bin/fig13_bandwidth.rs
+
+crates/bench/src/bin/fig13_bandwidth.rs:

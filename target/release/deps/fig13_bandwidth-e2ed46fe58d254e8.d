@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_bandwidth-e2ed46fe58d254e8.d: crates/bench/src/bin/fig13_bandwidth.rs
+
+/root/repo/target/release/deps/fig13_bandwidth-e2ed46fe58d254e8: crates/bench/src/bin/fig13_bandwidth.rs
+
+crates/bench/src/bin/fig13_bandwidth.rs:

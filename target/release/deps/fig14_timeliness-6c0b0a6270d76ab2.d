@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_timeliness-6c0b0a6270d76ab2.d: crates/bench/src/bin/fig14_timeliness.rs
+
+/root/repo/target/release/deps/fig14_timeliness-6c0b0a6270d76ab2: crates/bench/src/bin/fig14_timeliness.rs
+
+crates/bench/src/bin/fig14_timeliness.rs:

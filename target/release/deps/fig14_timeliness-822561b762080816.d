@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_timeliness-822561b762080816.d: crates/bench/src/bin/fig14_timeliness.rs
+
+/root/repo/target/release/deps/fig14_timeliness-822561b762080816: crates/bench/src/bin/fig14_timeliness.rs
+
+crates/bench/src/bin/fig14_timeliness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15_energy-34e1ef6726e23741.d: crates/bench/src/bin/fig15_energy.rs
+
+/root/repo/target/release/deps/fig15_energy-34e1ef6726e23741: crates/bench/src/bin/fig15_energy.rs
+
+crates/bench/src/bin/fig15_energy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15_energy-6736aabc3d0aa361.d: crates/bench/src/bin/fig15_energy.rs
+
+/root/repo/target/release/deps/fig15_energy-6736aabc3d0aa361: crates/bench/src/bin/fig15_energy.rs
+
+crates/bench/src/bin/fig15_energy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/run-65a180d7489e5ed2.d: crates/bench/src/bin/run.rs
+
+/root/repo/target/release/deps/run-65a180d7489e5ed2: crates/bench/src/bin/run.rs
+
+crates/bench/src/bin/run.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/run-af87c3349ffdd155.d: crates/bench/src/bin/run.rs
+
+/root/repo/target/release/deps/run-af87c3349ffdd155: crates/bench/src/bin/run.rs
+
+crates/bench/src/bin/run.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/run_all-27c8aa469589589b.d: crates/bench/src/bin/run_all.rs
+
+/root/repo/target/release/deps/run_all-27c8aa469589589b: crates/bench/src/bin/run_all.rs
+
+crates/bench/src/bin/run_all.rs:

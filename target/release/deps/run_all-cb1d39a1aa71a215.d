@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/run_all-cb1d39a1aa71a215.d: crates/bench/src/bin/run_all.rs
+
+/root/repo/target/release/deps/run_all-cb1d39a1aa71a215: crates/bench/src/bin/run_all.rs
+
+crates/bench/src/bin/run_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/skipprobe-a05c1e5881bf78c5.d: crates/bench/src/bin/skipprobe.rs
+
+/root/repo/target/release/deps/skipprobe-a05c1e5881bf78c5: crates/bench/src/bin/skipprobe.rs
+
+crates/bench/src/bin/skipprobe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table12_hardware-74f9a3613d6bc947.d: crates/bench/src/bin/table12_hardware.rs
+
+/root/repo/target/release/deps/table12_hardware-74f9a3613d6bc947: crates/bench/src/bin/table12_hardware.rs
+
+crates/bench/src/bin/table12_hardware.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table12_hardware-9be887bc9b5fa2c7.d: crates/bench/src/bin/table12_hardware.rs
+
+/root/repo/target/release/deps/table12_hardware-9be887bc9b5fa2c7: crates/bench/src/bin/table12_hardware.rs
+
+crates/bench/src/bin/table12_hardware.rs:

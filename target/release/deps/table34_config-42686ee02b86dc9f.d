@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table34_config-42686ee02b86dc9f.d: crates/bench/src/bin/table34_config.rs
+
+/root/repo/target/release/deps/table34_config-42686ee02b86dc9f: crates/bench/src/bin/table34_config.rs
+
+crates/bench/src/bin/table34_config.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table34_config-5c78f2691b743cc8.d: crates/bench/src/bin/table34_config.rs
+
+/root/repo/target/release/deps/table34_config-5c78f2691b743cc8: crates/bench/src/bin/table34_config.rs
+
+crates/bench/src/bin/table34_config.rs:

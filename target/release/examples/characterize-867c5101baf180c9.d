@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/characterize-867c5101baf180c9.d: crates/metrics/examples/characterize.rs
+
+/root/repo/target/release/examples/characterize-867c5101baf180c9: crates/metrics/examples/characterize.rs
+
+crates/metrics/examples/characterize.rs:

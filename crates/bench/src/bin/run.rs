@@ -6,14 +6,16 @@
 //!   BENCH:  CP LPS BPR HSP MRQ STE CNV HST JC1 FFT SCN MM PVR CCL BFS KM
 //!   ENGINE: base intra inter mta nlp lap orch caps caps-nw
 //!           caps@lrr caps@tlv caps@gto
-//! run --bench-throughput [--small] [--out PATH]
+//! run --bench-throughput [--small] [--out PATH] [--workloads A,B,..]
 //! ```
 //!
-//! `--bench-throughput` times the memory-bound workloads (BFS, MRQ, SCN)
-//! with event-horizon fast-forward on and off, reports simulated
-//! cycles/sec and host seconds per run, and writes the results to
+//! `--bench-throughput` times the full workload suite (BASE and CAPS,
+//! event-horizon fast-forward on and off), reports simulated cycles/sec
+//! and host seconds per run, and writes the results to
 //! `BENCH_throughput.json` (override with `--out`) so the simulator's
-//! perf trajectory is tracked across PRs.
+//! perf trajectory is tracked across PRs. `--workloads` restricts the
+//! sweep to a comma-separated list of benchmark abbreviations (the CI
+//! smoke job runs `--workloads SCN,MRQ --small`).
 
 use std::time::Instant;
 
@@ -25,7 +27,7 @@ use caps_workloads::{all_workloads, Scale, Workload};
 fn usage() -> ! {
     eprintln!(
         "usage: run <BENCH> <ENGINE> [--small] [--ctas N] [--kepler] [--threads N]\n\
-         \x20      run --bench-throughput [--small] [--out PATH]\n\
+         \x20      run --bench-throughput [--small] [--out PATH] [--workloads A,B,..]\n\
          BENCH:  {}\n\
          ENGINE: base intra inter mta nlp lap orch caps caps-nw caps@lrr caps@tlv caps@gto",
         all_workloads()
@@ -63,13 +65,30 @@ fn bench_throughput(args: &[String]) {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_throughput.json".to_string());
+    let workloads: Vec<Workload> = match args.iter().position(|a| a == "--workloads") {
+        Some(i) => {
+            let list = args.get(i + 1).cloned().unwrap_or_default();
+            list.split(',')
+                .map(|abbr| {
+                    all_workloads()
+                        .into_iter()
+                        .find(|w| w.abbr().eq_ignore_ascii_case(abbr.trim()))
+                        .unwrap_or_else(|| {
+                            eprintln!("unknown workload {abbr:?} in --workloads");
+                            usage()
+                        })
+                })
+                .collect()
+        }
+        None => all_workloads(),
+    };
     let reps = 3;
     let mut entries = Vec::new();
     println!(
         "{:<5} {:<5} {:>12} {:>11} {:>11} {:>14} {:>14} {:>8}",
         "bench", "eng", "sim cycles", "naive s", "fast s", "naive cyc/s", "fast cyc/s", "speedup"
     );
-    for workload in [Workload::Bfs, Workload::Mrq, Workload::Scn] {
+    for workload in workloads {
         for engine in [Engine::Baseline, Engine::Caps] {
             let mut spec = RunSpec::paper(workload, engine);
             spec.scale = scale;

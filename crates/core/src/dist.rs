@@ -10,6 +10,7 @@
 //! Hardware layout (Table I): PC (4 B) + stride (4 B) + misprediction
 //! counter (1 B) = 9 B per entry, four entries.
 
+use caps_gpu_sim::linemap::LineMap;
 use caps_gpu_sim::types::Pc;
 
 /// Entries in the DIST table (paper default).
@@ -34,9 +35,14 @@ pub struct DistEntry {
 }
 
 /// The per-SM stride table.
+///
+/// As in `PerCtaTable`, `entries` keeps replacement order and `index` is
+/// a flat PC → position map so the per-demand `stride`/`throttled`
+/// checks on the issue path cost one hash probe instead of a scan.
 #[derive(Debug)]
 pub struct DistTable {
     entries: Vec<DistEntry>,
+    index: LineMap<usize>,
     capacity: usize,
     threshold: u8,
     replace_when_full: bool,
@@ -66,10 +72,26 @@ impl DistTable {
         assert!(capacity > 0);
         DistTable {
             entries: Vec::with_capacity(capacity),
+            index: LineMap::with_capacity(capacity),
             capacity,
             threshold,
             replace_when_full,
             clock: 0,
+        }
+    }
+
+    #[inline]
+    fn find(&self, pc: Pc) -> Option<usize> {
+        self.index.get(pc as u64).copied()
+    }
+
+    /// `swap_remove` the entry at `i`, fixing the index of the entry
+    /// moved into its place.
+    fn remove_at(&mut self, i: usize) {
+        let removed = self.entries.swap_remove(i);
+        self.index.remove(removed.pc as u64);
+        if i < self.entries.len() {
+            self.index.insert(self.entries[i].pc as u64, i);
         }
     }
 
@@ -85,15 +107,13 @@ impl DistTable {
 
     /// Stride for `pc` if known.
     pub fn stride(&self, pc: Pc) -> Option<i64> {
-        self.entries.iter().find(|e| e.pc == pc).map(|e| e.stride)
+        self.find(pc).map(|i| self.entries[i].stride)
     }
 
     /// Whether prefetching for `pc` has been shut off by mispredictions.
     pub fn throttled(&self, pc: Pc) -> bool {
-        self.entries
-            .iter()
-            .find(|e| e.pc == pc)
-            .is_some_and(|e| e.mispredicts >= self.threshold)
+        self.find(pc)
+            .is_some_and(|i| self.entries[i].mispredicts >= self.threshold)
     }
 
     /// Record a detected stride for `pc`, resetting its misprediction
@@ -103,7 +123,8 @@ impl DistTable {
     pub fn insert(&mut self, pc: Pc, stride: i64) -> bool {
         self.clock += 1;
         let clock = self.clock;
-        if let Some(e) = self.entries.iter_mut().find(|e| e.pc == pc) {
+        if let Some(i) = self.find(pc) {
+            let e = &mut self.entries[i];
             e.stride = stride;
             e.mispredicts = 0;
             e.lru = clock;
@@ -120,8 +141,9 @@ impl DistTable {
                 .min_by_key(|(_, e)| e.lru)
                 .map(|(i, _)| i)
                 .expect("full table has a victim");
-            self.entries.swap_remove(victim);
+            self.remove_at(victim);
         }
+        self.index.insert(pc as u64, self.entries.len());
         self.entries.push(DistEntry {
             pc,
             stride,
@@ -134,22 +156,29 @@ impl DistTable {
     /// Bump the misprediction counter for `pc` (demand address disagreed
     /// with the prediction). Saturating.
     pub fn mispredict(&mut self, pc: Pc) {
-        if let Some(e) = self.entries.iter_mut().find(|e| e.pc == pc) {
+        if let Some(i) = self.find(pc) {
+            let e = &mut self.entries[i];
             e.mispredicts = e.mispredicts.saturating_add(1);
         }
     }
 
     /// Misprediction count for `pc` (diagnostics).
     pub fn mispredict_count(&self, pc: Pc) -> Option<u8> {
-        self.entries
-            .iter()
-            .find(|e| e.pc == pc)
-            .map(|e| e.mispredicts)
+        self.find(pc).map(|i| self.entries[i].mispredicts)
     }
 
-    /// Drop the entry for `pc`.
+    /// Drop the entry for `pc`. Order-preserving removal (matching the
+    /// seed's `retain`), re-indexing the shifted tail — bounded by the
+    /// 4-entry capacity.
     pub fn invalidate(&mut self, pc: Pc) {
-        self.entries.retain(|e| e.pc != pc);
+        let Some(i) = self.find(pc) else {
+            return;
+        };
+        self.entries.remove(i);
+        self.index.remove(pc as u64);
+        for j in i..self.entries.len() {
+            self.index.insert(self.entries[j].pc as u64, j);
+        }
     }
 
     /// PCs of all live entries (scrub support).

@@ -9,6 +9,7 @@
 //! Hardware layout (Table I): PC (4 B) + leading warp id (1 B) +
 //! 4×4 B base-address vector = 21 B per entry, four entries per CTA.
 
+use caps_gpu_sim::linemap::LineMap;
 use caps_gpu_sim::types::{Addr, CtaCoord, Pc};
 
 /// Entries per PerCTA table (paper default).
@@ -42,9 +43,16 @@ pub struct PerCtaEntry {
 }
 
 /// The PerCTA table of one CTA slot.
+///
+/// `entries` remains the source of truth for iteration and replacement
+/// order (both architecturally visible); `index` is a flat PC → position
+/// map layered on top so the per-demand `lookup`/`probe` on the issue
+/// path costs one hash probe instead of a scan. Its generation-based
+/// O(1) `clear` is what makes the per-CTA-launch `reset` free.
 #[derive(Debug, Default)]
 pub struct PerCtaTable {
     entries: Vec<PerCtaEntry>,
+    index: LineMap<usize>,
     capacity: usize,
     replace_when_full: bool,
     clock: u64,
@@ -72,6 +80,7 @@ impl PerCtaTable {
         assert!(capacity > 0);
         PerCtaTable {
             entries: Vec::with_capacity(capacity),
+            index: LineMap::with_capacity(capacity),
             capacity,
             replace_when_full,
             clock: 0,
@@ -82,6 +91,7 @@ impl PerCtaTable {
     /// Re-initialize for a newly launched CTA.
     pub fn reset(&mut self, cta: CtaCoord) {
         self.entries.clear();
+        self.index.clear();
         self.clock = 0;
         self.cta = Some(cta);
     }
@@ -89,6 +99,7 @@ impl PerCtaTable {
     /// Drop all state (CTA completed).
     pub fn clear(&mut self) {
         self.entries.clear();
+        self.index.clear();
         self.cta = None;
     }
 
@@ -104,12 +115,14 @@ impl PerCtaTable {
 
     /// Find the entry for `pc`.
     pub fn lookup(&mut self, pc: Pc) -> Option<&mut PerCtaEntry> {
-        self.entries.iter_mut().find(|e| e.pc == pc)
+        let i = *self.index.get(pc as u64)?;
+        Some(&mut self.entries[i])
     }
 
     /// Immutable probe (no LRU effect).
     pub fn probe(&self, pc: Pc) -> Option<&PerCtaEntry> {
-        self.entries.iter().find(|e| e.pc == pc)
+        let i = *self.index.get(pc as u64)?;
+        Some(&self.entries[i])
     }
 
     /// Register the leading warp's bases for `pc`. When the table is
@@ -159,7 +172,7 @@ impl PerCtaTable {
                 .iter()
                 .position(|e| e.all_demands_seen(warps_per_cta));
             if let Some(victim) = exhausted {
-                self.entries.swap_remove(victim);
+                self.remove_at(victim);
             } else if !self.replace_when_full {
                 return None;
             } else {
@@ -171,9 +184,10 @@ impl PerCtaTable {
                     .min_by_key(|(_, e)| e.lru)
                     .map(|(i, _)| i)
                     .expect("full table has a victim");
-                self.entries.swap_remove(victim);
+                self.remove_at(victim);
             }
         }
+        self.index.insert(pc as u64, self.entries.len());
         self.entries.push(PerCtaEntry {
             pc,
             leading_warp,
@@ -183,6 +197,16 @@ impl PerCtaTable {
             lru: clock,
         });
         self.entries.last_mut()
+    }
+
+    /// `swap_remove` the entry at `i`, fixing the index of the entry
+    /// moved into its place.
+    fn remove_at(&mut self, i: usize) {
+        let removed = self.entries.swap_remove(i);
+        self.index.remove(removed.pc as u64);
+        if i < self.entries.len() {
+            self.index.insert(self.entries[i].pc as u64, i);
+        }
     }
 
     /// Refresh an existing entry's bases (leading warp re-executed the
@@ -219,8 +243,18 @@ impl PerCtaTable {
     }
 
     /// Invalidate the entry for `pc` (stride turned out irregular).
+    /// Order-preserving removal (iteration order is visible to the
+    /// prefetch-generation traversal), so later entries shift down and
+    /// are re-indexed — bounded by the 4-entry capacity.
     pub fn invalidate(&mut self, pc: Pc) {
-        self.entries.retain(|e| e.pc != pc);
+        let Some(&i) = self.index.get(pc as u64) else {
+            return;
+        };
+        self.entries.remove(i);
+        self.index.remove(pc as u64);
+        for j in i..self.entries.len() {
+            self.index.insert(self.entries[j].pc as u64, j);
+        }
     }
 
     /// Iterate live entries (prefetch-generation traversal, Fig. 9a).

@@ -21,23 +21,26 @@ pub struct PrefetchProvenance {
     pub issue_cycle: Cycle,
 }
 
+/// Per-line state other than the tag and the LRU stamp. Kept out of the
+/// tag array so the hot tag scan stays within one hardware cache line
+/// per set; this struct is only touched for the single way a hit, fill
+/// or invalidation acts on.
 #[derive(Debug, Clone, Copy)]
-struct Line {
-    tag: Addr,
-    valid: bool,
+struct LineMeta {
     dirty: bool,
-    last_use: u64,
     /// `Some` while the line holds unconsumed prefetched data.
     prefetch: Option<PrefetchProvenance>,
 }
 
-const INVALID: Line = Line {
-    tag: 0,
-    valid: false,
+const EMPTY_META: LineMeta = LineMeta {
     dirty: false,
-    last_use: 0,
     prefetch: None,
 };
+
+/// Tag value marking an empty way. Real tags are line addresses and
+/// never reach `Addr::MAX`, so the sentinel folds the `valid` bit into
+/// the tag compare itself.
+const TAG_INVALID: Addr = Addr::MAX;
 
 /// Result of a lookup.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,11 +68,22 @@ pub struct FillOutcome {
 
 /// A set-associative LRU cache (tag store only — the simulator carries no
 /// data values).
+///
+/// The line state lives in three parallel flat arrays indexed by
+/// `set * assoc + way` instead of an array-of-structs: the tag scan that
+/// every access performs walks `tags` alone (a full 8-way set is one
+/// 64-byte hardware cache line), victim selection walks `last_use`
+/// alone, and the wide `meta` entry (dirty bit plus prefetch
+/// provenance) is only loaded for the single way that hits or is
+/// evicted.
 #[derive(Debug)]
 pub struct Cache {
     cfg: CacheConfig,
-    lines: Vec<Line>,
+    tags: Vec<Addr>,
+    last_use: Vec<u64>,
+    meta: Vec<LineMeta>,
     sets: usize,
+    assoc: usize,
     use_clock: u64,
 }
 
@@ -78,10 +92,14 @@ impl Cache {
     pub fn new(cfg: CacheConfig) -> Self {
         let sets = cfg.sets() as usize;
         assert!(sets.is_power_of_two(), "set count must be a power of two");
+        let assoc = cfg.assoc as usize;
         Cache {
             cfg,
-            lines: vec![INVALID; sets * cfg.assoc as usize],
+            tags: vec![TAG_INVALID; sets * assoc],
+            last_use: vec![0; sets * assoc],
+            meta: vec![EMPTY_META; sets * assoc],
             sets,
+            assoc,
             use_clock: 0,
         }
     }
@@ -104,20 +122,20 @@ impl Cache {
         (idx ^ (idx >> bits) ^ (idx >> (2 * bits))) & (self.sets - 1)
     }
 
+    /// Index of the way holding `line_addr` in `set`, if resident.
     #[inline]
-    fn ways(&mut self, set: usize) -> &mut [Line] {
-        let a = self.cfg.assoc as usize;
-        &mut self.lines[set * a..(set + 1) * a]
+    fn find(&self, set: usize, line_addr: Addr) -> Option<usize> {
+        let base = set * self.assoc;
+        self.tags[base..base + self.assoc]
+            .iter()
+            .position(|&t| t == line_addr)
+            .map(|w| base + w)
     }
 
     /// Non-destructive presence check (no LRU update, no consumption).
     /// Prefetch engines use this to drop redundant requests.
     pub fn probe(&self, line_addr: Addr) -> bool {
-        let set = self.set_of(line_addr);
-        let a = self.cfg.assoc as usize;
-        self.lines[set * a..(set + 1) * a]
-            .iter()
-            .any(|l| l.valid && l.tag == line_addr)
+        self.find(self.set_of(line_addr), line_addr).is_some()
     }
 
     /// Demand access to `line_addr`. Updates LRU and consumes prefetch
@@ -126,16 +144,16 @@ impl Cache {
         self.use_clock += 1;
         let clock = self.use_clock;
         let set = self.set_of(line_addr);
-        for l in self.ways(set) {
-            if l.valid && l.tag == line_addr {
-                l.last_use = clock;
-                let first = l.prefetch.take();
-                return Lookup::Hit {
+        match self.find(set, line_addr) {
+            Some(i) => {
+                self.last_use[i] = clock;
+                let first = self.meta[i].prefetch.take();
+                Lookup::Hit {
                     first_use_of_prefetch: first,
-                };
+                }
             }
+            None => Lookup::Miss,
         }
-        Lookup::Miss
     }
 
     /// Install `line_addr`, evicting the LRU way if needed. `prefetch`
@@ -160,33 +178,39 @@ impl Cache {
         self.use_clock += 1;
         let clock = self.use_clock;
         let set = self.set_of(line_addr);
-        let ways = self.ways(set);
+        let base = set * self.assoc;
 
         // Refill of a resident line (possible when a store invalidated and
         // a racing fill returns): overwrite in place.
-        if let Some(l) = ways.iter_mut().find(|l| l.valid && l.tag == line_addr) {
-            l.last_use = clock;
-            l.prefetch = prefetch;
-            l.dirty |= dirty;
+        if let Some(i) = self.find(set, line_addr) {
+            self.last_use[i] = clock;
+            self.meta[i].prefetch = prefetch;
+            self.meta[i].dirty |= dirty;
             return FillOutcome::default();
         }
 
-        let victim = match ways.iter_mut().find(|l| !l.valid) {
-            Some(inv) => inv,
-            None => ways
-                .iter_mut()
-                .min_by_key(|l| l.last_use)
-                .expect("assoc > 0"),
+        // First empty way, else the LRU way (earliest way on a stamp
+        // tie, matching `min_by_key` over the former array-of-structs).
+        let tags = &self.tags[base..base + self.assoc];
+        let victim = match tags.iter().position(|&t| t == TAG_INVALID) {
+            Some(w) => base + w,
+            None => {
+                let stamps = &self.last_use[base..base + self.assoc];
+                let mut w = 0;
+                for (i, &s) in stamps.iter().enumerate().skip(1) {
+                    if s < stamps[w] {
+                        w = i;
+                    }
+                }
+                base + w
+            }
         };
-        let evicted_unused_prefetch = victim.valid && victim.prefetch.is_some();
-        let writeback = (victim.valid && victim.dirty).then_some(victim.tag);
-        *victim = Line {
-            tag: line_addr,
-            valid: true,
-            dirty,
-            last_use: clock,
-            prefetch,
-        };
+        let was_valid = self.tags[victim] != TAG_INVALID;
+        let evicted_unused_prefetch = was_valid && self.meta[victim].prefetch.is_some();
+        let writeback = (was_valid && self.meta[victim].dirty).then_some(self.tags[victim]);
+        self.tags[victim] = line_addr;
+        self.last_use[victim] = clock;
+        self.meta[victim] = LineMeta { dirty, prefetch };
         FillOutcome {
             evicted_unused_prefetch,
             writeback,
@@ -199,14 +223,14 @@ impl Cache {
         self.use_clock += 1;
         let clock = self.use_clock;
         let set = self.set_of(line_addr);
-        for l in self.ways(set) {
-            if l.valid && l.tag == line_addr {
-                l.dirty = true;
-                l.last_use = clock;
-                return true;
+        match self.find(set, line_addr) {
+            Some(i) => {
+                self.meta[i].dirty = true;
+                self.last_use[i] = clock;
+                true
             }
+            None => false,
         }
-        false
     }
 
     /// Invalidate `line_addr` if present (write-evict store policy).
@@ -214,27 +238,28 @@ impl Cache {
     /// unconsumed prefetched data.
     pub fn invalidate(&mut self, line_addr: Addr) -> Option<PrefetchProvenance> {
         let set = self.set_of(line_addr);
-        for l in self.ways(set) {
-            if l.valid && l.tag == line_addr {
-                l.valid = false;
-                return l.prefetch.take();
+        match self.find(set, line_addr) {
+            Some(i) => {
+                self.tags[i] = TAG_INVALID;
+                self.meta[i].prefetch.take()
             }
+            None => None,
         }
-        None
     }
 
     /// Count of resident lines still holding unconsumed prefetched data
     /// (collected at kernel end for the accuracy denominator).
     pub fn unconsumed_prefetched_lines(&self) -> u64 {
-        self.lines
+        self.tags
             .iter()
-            .filter(|l| l.valid && l.prefetch.is_some())
+            .zip(&self.meta)
+            .filter(|(&t, m)| t != TAG_INVALID && m.prefetch.is_some())
             .count() as u64
     }
 
     /// Number of valid lines (occupancy diagnostics).
     pub fn valid_lines(&self) -> usize {
-        self.lines.iter().filter(|l| l.valid).count()
+        self.tags.iter().filter(|&&t| t != TAG_INVALID).count()
     }
 }
 

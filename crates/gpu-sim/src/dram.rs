@@ -70,11 +70,22 @@ impl CoreTiming {
 #[derive(Debug)]
 pub struct DramChannel {
     queue: Vec<DramRequest>,
+    /// Bank index of each queued request, parallel to `queue`. Computed
+    /// once at [`Self::push`] so the per-cycle FR-FCFS scan and the
+    /// wake-time recompute never redo the row/bank arithmetic (the bank
+    /// count is a runtime value, so `bank_of` costs a hardware divide).
+    queue_bank: Vec<u8>,
     queue_capacity: usize,
     banks: Vec<Bank>,
     bus_free_at: Cycle,
     in_flight: Vec<(Cycle, DramRequest)>,
     timing: CoreTiming,
+    /// Earliest cycle at which [`Self::step`] can act (a completion
+    /// matures or a queued request's bank turns ready), so steps before
+    /// it early-out without scanning the queue. Exact: recomputed from
+    /// queue, banks and in-flight set after every executed step; a
+    /// [`Self::push`] lowers it to the new request's bank-ready time.
+    wake_at: Cycle,
     /// Row-buffer hits serviced (stats).
     pub row_hits: u64,
     /// Row activations (misses + closed-bank opens).
@@ -90,6 +101,7 @@ impl DramChannel {
     pub fn new(cfg: &GpuConfig) -> Self {
         DramChannel {
             queue: Vec::with_capacity(cfg.dram_queue_entries),
+            queue_bank: Vec::with_capacity(cfg.dram_queue_entries),
             queue_capacity: cfg.dram_queue_entries,
             banks: vec![
                 Bank {
@@ -101,6 +113,7 @@ impl DramChannel {
             bus_free_at: 0,
             in_flight: Vec::new(),
             timing: CoreTiming::from(cfg, &cfg.dram_timing),
+            wake_at: 0,
             row_hits: 0,
             row_misses: 0,
             reads: 0,
@@ -123,6 +136,12 @@ impl DramChannel {
     /// Enqueue a request; caller must have checked [`Self::can_accept`].
     pub fn push(&mut self, req: DramRequest) {
         debug_assert!(self.can_accept(), "DRAM queue overflow");
+        let bank = self.bank_of(req.line);
+        let ready = self.banks[bank].ready_at;
+        if ready < self.wake_at {
+            self.wake_at = ready;
+        }
+        self.queue_bank.push(bank as u8);
         self.queue.push(req);
     }
 
@@ -143,9 +162,9 @@ impl DramChannel {
     pub fn can_progress(&self, now: Cycle) -> bool {
         self.in_flight.iter().any(|&(t, _)| t <= now)
             || self
-                .queue
+                .queue_bank
                 .iter()
-                .any(|req| self.banks[self.bank_of(req.line)].ready_at <= now)
+                .any(|&b| self.banks[b as usize].ready_at <= now)
     }
 
     /// Earliest future cycle at which this channel can make progress:
@@ -156,15 +175,35 @@ impl DramChannel {
     pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
         let completion = self.in_flight.iter().map(|&(t, _)| t);
         let bank_ready = self
-            .queue
+            .queue_bank
             .iter()
-            .map(|req| self.banks[self.bank_of(req.line)].ready_at);
+            .map(|&b| self.banks[b as usize].ready_at);
         completion.chain(bank_ready).filter(|&t| t > now).min()
     }
 
     /// Advance one core cycle: possibly start one request (FR-FCFS pick)
     /// and drain completions into `done`.
     pub fn step(&mut self, now: Cycle, done: &mut Vec<DramRequest>) {
+        if now < self.wake_at {
+            return;
+        }
+        self.step_inner(now, done);
+        // Next cycle anything can happen: the earliest completion or
+        // bank-ready time, clamped to the future (a bank ready now means
+        // the next step may issue, so it must run at `now + 1`).
+        let completion = self.in_flight.iter().map(|&(t, _)| t).min();
+        let bank_ready = self
+            .queue_bank
+            .iter()
+            .map(|&b| self.banks[b as usize].ready_at)
+            .min();
+        let earliest = completion
+            .unwrap_or(Cycle::MAX)
+            .min(bank_ready.unwrap_or(Cycle::MAX));
+        self.wake_at = earliest.max(now + 1);
+    }
+
+    fn step_inner(&mut self, now: Cycle, done: &mut Vec<DramRequest>) {
         // Completions first so their banks free this cycle.
         let mut i = 0;
         while i < self.in_flight.len() {
@@ -190,7 +229,7 @@ impl DramChannel {
         // issued per cycle.
         let mut best: Option<(bool, bool, Cycle, usize)> = None; // (hit, demand, arrival, idx)
         for (idx, req) in self.queue.iter().enumerate() {
-            let bank = self.bank_of(req.line);
+            let bank = self.queue_bank[idx] as usize;
             if self.banks[bank].ready_at > now {
                 continue;
             }
@@ -212,7 +251,7 @@ impl DramChannel {
             return;
         };
         let req = self.queue.remove(idx);
-        let bank_idx = self.bank_of(req.line);
+        let bank_idx = self.queue_bank.remove(idx) as usize;
         let row = Self::row_of(req.line);
 
         let access = if row_hit {

@@ -215,22 +215,39 @@ impl Gpu {
             let now = self.cycle;
             // Machine-wide quiescence requires every SM quiescent, so the
             // cheap per-SM cache gates the full probe: in busy phases the
-            // per-cycle overhead is one scan of `sm_quiet_until`.
-            if self.fast_forward
-                && self.sm_quiet_until.iter().all(|&quiet| quiet > now)
-                && !self.can_progress(now)
-            {
-                // Nothing can happen before the horizon. `None` means a
-                // deadlocked configuration: jump straight to the cap,
-                // exactly as the naive loop would spin to it.
-                let target = self.horizon(now).unwrap_or(max_cycles).min(max_cycles);
-                debug_assert!(target > now, "horizon must be in the future");
-                self.skip_to(now, target);
-            } else {
-                self.step();
+            // per-cycle overhead is one scan of `sm_quiet_until`. The
+            // same scan yields the nearest cached SM event — an upper
+            // bound on how far a skip could jump (the horizon takes the
+            // min over these and more). When that bound is under
+            // `MIN_PROFITABLE_SKIP`, the `can_progress` probe plus the
+            // `horizon` walk would cost more host time than the handful
+            // of simulated cycles they could skip, so short gaps are
+            // stepped naively. Both paths account identical statistics,
+            // so the backoff cannot perturb results.
+            if self.fast_forward {
+                let min_quiet = self.sm_quiet_until.iter().copied().min().unwrap_or(0);
+                if min_quiet > now
+                    && min_quiet - now >= Self::MIN_PROFITABLE_SKIP
+                    && !self.can_progress(now)
+                {
+                    // Nothing can happen before the horizon. `None` means
+                    // a deadlocked configuration: jump straight to the
+                    // cap, exactly as the naive loop would spin to it.
+                    let target = self.horizon(now).unwrap_or(max_cycles).min(max_cycles);
+                    debug_assert!(target > now, "horizon must be in the future");
+                    self.skip_to(now, target);
+                    continue;
+                }
             }
+            self.step();
         }
     }
+
+    /// Smallest estimated jump worth the fast-forward machinery. Tuned
+    /// on SCN (compute-bound, short quiescent gaps between execution
+    /// timers), where probing every 1–3-cycle gap made fast-forward a
+    /// net loss.
+    const MIN_PROFITABLE_SKIP: Cycle = 8;
 
     /// Whether a [`Self::step`] at `now` would change any state anywhere
     /// in the machine. Ordered cheapest-first; each arm mirrors one step

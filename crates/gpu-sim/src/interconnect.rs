@@ -53,6 +53,13 @@ pub struct Network<T> {
     /// Cumulative count of cycles a pipe head waited for a full ejection
     /// queue (congestion diagnostic).
     pub stall_events: u64,
+    /// No pipe head can act before this cycle, so [`Self::step`] is a
+    /// provable no-op until then and early-outs without touching the
+    /// per-destination queues. Exact: recomputed from the surviving
+    /// heads after every scan and lowered by every [`Self::send`]; a
+    /// blocked head (arrived, ejection queue full) keeps the bound at or
+    /// below `now`, forcing rescans while its stall events accrue.
+    wake_at: Cycle,
 }
 
 impl<T> Network<T> {
@@ -68,6 +75,7 @@ impl<T> Network<T> {
             eject_bw,
             ejected: 0,
             stall_events: 0,
+            wake_at: 0,
         }
     }
 
@@ -78,11 +86,18 @@ impl<T> Network<T> {
         let at = now + self.latency as Cycle;
         debug_assert!(self.pipes[dst].back().is_none_or(|&(t, _)| t <= at));
         self.pipes[dst].push_back((at, msg));
+        if at < self.wake_at {
+            self.wake_at = at;
+        }
     }
 
     /// Move arrived messages into ejection queues (respecting depth).
     /// Call once per cycle before [`Self::pop`].
     pub fn step(&mut self, now: Cycle) {
+        if now < self.wake_at {
+            return;
+        }
+        let mut wake = Cycle::MAX;
         for dst in 0..self.pipes.len() {
             while let Some(&(t, _)) = self.pipes[dst].front() {
                 if t > now {
@@ -98,7 +113,11 @@ impl<T> Network<T> {
                 self.eject[dst].push_back(msg);
                 self.ejected += 1;
             }
+            if let Some(&(t, _)) = self.pipes[dst].front() {
+                wake = wake.min(t);
+            }
         }
+        self.wake_at = wake;
     }
 
     /// Take up to the per-cycle ejection bandwidth of messages for `dst`.

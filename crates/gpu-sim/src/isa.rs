@@ -136,7 +136,7 @@ pub fn warp_predicate(cta: CtaCoord, warp_in_cta: u32, iter: u32, modulo: u32) -
         ^ ((warp_in_cta as u64) << 21)
         ^ ((iter as u64) << 3)
         ^ 0x5bd1_e995;
-    splitmix64(key) % modulo as u64 == 0
+    splitmix64(key).is_multiple_of(modulo as u64)
 }
 
 #[inline]
@@ -275,6 +275,15 @@ impl Program {
     #[inline]
     pub fn op(&self, idx: usize) -> Op {
         self.ops[idx]
+    }
+
+    /// Whether the instruction at `idx` issues memory requests, checked
+    /// by reference — the per-cycle issue predicate asks this for every
+    /// candidate warp, and copying a pattern-carrying [`Op`] out of the
+    /// program just to test its discriminant dominated that path.
+    #[inline]
+    pub fn op_is_mem(&self, idx: usize) -> bool {
+        self.ops[idx].is_mem()
     }
 
     /// Static loads, paired with the trip count of the innermost loop

@@ -51,6 +51,7 @@ pub mod gpu;
 pub mod interconnect;
 pub mod isa;
 pub mod kernel;
+pub mod linemap;
 pub mod mshr;
 pub mod partition;
 pub mod prefetch;

@@ -1,0 +1,312 @@
+//! Flat open-addressed hash table for cycle-critical lookups.
+//!
+//! The per-cycle hot path of the simulator is dominated by small
+//! associative lookups: "is this line in the MSHR file?", "is a prefetch
+//! to this line in flight?", "which SMs wait on this L2 fill?". A
+//! general-purpose `HashMap` pays SipHash, branchy control flow and a
+//! pointer-chasing bucket layout for every one of those probes. This
+//! module provides the flat, index-addressed replacement used by the
+//! MSHR file, the L2 waiter table, the SM prefetch-inflight table and
+//! the CAP PerCTA/DIST index:
+//!
+//! - power-of-two slot array, linear probing, Fibonacci multiplicative
+//!   hash — a probe is a multiply, a shift, and (almost always) one
+//!   cache-line touch;
+//! - backward-shift deletion, so there are no tombstones and probe
+//!   sequences never degrade;
+//! - generation-stamped occupancy, so `clear` is O(1): bumping the
+//!   generation invalidates every slot at once (the CAP tables reset
+//!   per CTA launch, far too often to pay an O(capacity) wipe).
+//!
+//! Keys are `u64` (line addresses or zero-extended PCs). Iteration order
+//! is deterministic but *not* insertion order; simulation code must not
+//! let it leak into architecturally visible ordering — every sim-side
+//! user keys accesses individually (the differential proptests in
+//! `tests/structures_differential.rs` pin this down against `HashMap`).
+
+/// A flat open-addressed map from `u64` keys to `V`.
+#[derive(Debug, Clone)]
+pub struct LineMap<V> {
+    keys: Vec<u64>,
+    vals: Vec<Option<V>>,
+    /// Slot `i` is occupied iff `gens[i] == gen`.
+    gens: Vec<u32>,
+    gen: u32,
+    mask: usize,
+    len: usize,
+}
+
+impl<V> Default for LineMap<V> {
+    fn default() -> Self {
+        Self::with_capacity(0)
+    }
+}
+
+/// Fibonacci multiplicative hash: spreads the (highly regular) line
+/// address and PC streams across the table. The high bits of the product
+/// are the best-mixed, so the home slot comes from the top.
+#[inline(always)]
+fn spread(key: u64) -> u64 {
+    key.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+impl<V> LineMap<V> {
+    /// Map expecting up to `capacity` live entries. The slot array is
+    /// sized to keep the load factor at or below 50% so probe chains
+    /// stay short; inserting past `capacity` is legal (the table grows).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let slots = (capacity.max(1) * 2).next_power_of_two().max(8);
+        LineMap {
+            keys: vec![0; slots],
+            vals: (0..slots).map(|_| None).collect(),
+            gens: vec![0; slots],
+            gen: 1,
+            mask: slots - 1,
+            len: 0,
+        }
+    }
+
+    /// Live entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no entry is live.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline(always)]
+    fn home(&self, key: u64) -> usize {
+        (spread(key) >> (64 - (self.mask + 1).trailing_zeros())) as usize
+    }
+
+    #[inline(always)]
+    fn occupied(&self, slot: usize) -> bool {
+        self.gens[slot] == self.gen
+    }
+
+    /// Slot holding `key`, if present.
+    #[inline]
+    fn find(&self, key: u64) -> Option<usize> {
+        let mut i = self.home(key);
+        loop {
+            if !self.occupied(i) {
+                return None;
+            }
+            if self.keys[i] == key {
+                return Some(i);
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Whether `key` is present.
+    #[inline]
+    pub fn contains(&self, key: u64) -> bool {
+        self.find(key).is_some()
+    }
+
+    /// Shared reference to the value for `key`.
+    #[inline]
+    pub fn get(&self, key: u64) -> Option<&V> {
+        self.find(key).map(|i| self.vals[i].as_ref().expect("occupied"))
+    }
+
+    /// Mutable reference to the value for `key`.
+    #[inline]
+    pub fn get_mut(&mut self, key: u64) -> Option<&mut V> {
+        match self.find(key) {
+            Some(i) => Some(self.vals[i].as_mut().expect("occupied")),
+            None => None,
+        }
+    }
+
+    /// Insert `key → val`, returning the previous value if `key` was
+    /// present.
+    pub fn insert(&mut self, key: u64, val: V) -> Option<V> {
+        if (self.len + 1) * 2 > self.mask + 1 {
+            self.grow();
+        }
+        let mut i = self.home(key);
+        loop {
+            if !self.occupied(i) {
+                self.keys[i] = key;
+                self.vals[i] = Some(val);
+                self.gens[i] = self.gen;
+                self.len += 1;
+                return None;
+            }
+            if self.keys[i] == key {
+                return self.vals[i].replace(val);
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Remove and return the value for `key`. Backward-shift deletion:
+    /// later entries of the probe chain slide into the hole, so the
+    /// table never accumulates tombstones.
+    pub fn remove(&mut self, key: u64) -> Option<V> {
+        let mut hole = self.find(key)?;
+        let out = self.vals[hole].take();
+        self.len -= 1;
+        let mut i = hole;
+        loop {
+            i = (i + 1) & self.mask;
+            if !self.occupied(i) {
+                break;
+            }
+            // An entry may move into the hole iff the hole lies within
+            // its probe chain (between its home slot and where it sits).
+            let dist = i.wrapping_sub(self.home(self.keys[i])) & self.mask;
+            let gap = i.wrapping_sub(hole) & self.mask;
+            if dist >= gap {
+                self.keys[hole] = self.keys[i];
+                self.vals[hole] = self.vals[i].take();
+                hole = i;
+            }
+        }
+        self.gens[hole] = self.gen.wrapping_sub(1);
+        out
+    }
+
+    /// Drop every entry in O(1) by invalidating the generation stamp.
+    /// Stale values are physically dropped lazily (on overwrite, grow,
+    /// or map drop) — acceptable for the small pooled values stored here.
+    pub fn clear(&mut self) {
+        self.gen = self.gen.wrapping_add(1);
+        if self.gen == 0 {
+            // One wrap every 2^32 clears: pay a full wipe to keep the
+            // "occupied iff stamp matches" invariant exact.
+            self.gens.fill(0);
+            self.gen = 1;
+            for v in &mut self.vals {
+                *v = None;
+            }
+        }
+        self.len = 0;
+    }
+
+    fn grow(&mut self) {
+        let new_slots = (self.mask + 1) * 2;
+        let mut next = LineMap::<V> {
+            keys: vec![0; new_slots],
+            vals: (0..new_slots).map(|_| None).collect(),
+            gens: vec![0; new_slots],
+            gen: 1,
+            mask: new_slots - 1,
+            len: 0,
+        };
+        for i in 0..=self.mask {
+            if self.occupied(i) {
+                if let Some(v) = self.vals[i].take() {
+                    next.insert(self.keys[i], v);
+                }
+            }
+        }
+        *self = next;
+    }
+
+    /// Iterate live `(key, &value)` pairs in slot order (deterministic,
+    /// NOT insertion order — diagnostics and tests only; simulation code
+    /// must not let this order become architecturally visible).
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &V)> {
+        self.gens
+            .iter()
+            .enumerate()
+            .filter(move |&(_, &g)| g == self.gen)
+            .map(move |(i, _)| (self.keys[i], self.vals[i].as_ref().expect("occupied")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut m = LineMap::with_capacity(4);
+        assert!(m.is_empty());
+        assert_eq!(m.insert(0x1000, "a"), None);
+        assert_eq!(m.insert(0x2000, "b"), None);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get(0x1000), Some(&"a"));
+        assert!(m.contains(0x2000));
+        assert!(!m.contains(0x3000));
+        assert_eq!(m.insert(0x1000, "a2"), Some("a"));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.remove(0x1000), Some("a2"));
+        assert_eq!(m.remove(0x1000), None);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn grows_past_declared_capacity() {
+        let mut m = LineMap::with_capacity(2);
+        for k in 0..1000u64 {
+            m.insert(k * 128, k);
+        }
+        assert_eq!(m.len(), 1000);
+        for k in 0..1000u64 {
+            assert_eq!(m.get(k * 128), Some(&k), "key {k}");
+        }
+    }
+
+    #[test]
+    fn backward_shift_keeps_chains_reachable() {
+        // Force collisions: with an 8-slot table, insert enough keys that
+        // chains form, then delete from the middle of a chain.
+        let mut m = LineMap::with_capacity(3);
+        let keys: Vec<u64> = (0..4).map(|k| k * 0x40).collect();
+        for &k in &keys {
+            m.insert(k, k);
+        }
+        m.remove(keys[1]);
+        for &k in [keys[0], keys[2], keys[3]].iter() {
+            assert_eq!(m.get(k), Some(&k), "key {k:#x} lost after delete");
+        }
+    }
+
+    #[test]
+    fn clear_is_total_and_reusable() {
+        let mut m = LineMap::with_capacity(8);
+        for k in 0..8u64 {
+            m.insert(k, k);
+        }
+        m.clear();
+        assert!(m.is_empty());
+        for k in 0..8u64 {
+            assert!(!m.contains(k));
+        }
+        m.insert(3, 33);
+        assert_eq!(m.get(3), Some(&33));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn many_clear_cycles_stay_consistent() {
+        let mut m = LineMap::with_capacity(4);
+        for round in 0..10_000u64 {
+            m.insert(round % 7, round);
+            assert_eq!(m.get(round % 7), Some(&round));
+            m.clear();
+            assert!(!m.contains(round % 7));
+        }
+    }
+
+    #[test]
+    fn iter_yields_every_live_entry() {
+        let mut m = LineMap::with_capacity(16);
+        for k in 0..10u64 {
+            m.insert(k * 128, k);
+        }
+        m.remove(3 * 128);
+        let mut got: Vec<u64> = m.iter().map(|(k, _)| k).collect();
+        got.sort_unstable();
+        let want: Vec<u64> = (0..10u64).filter(|&k| k != 3).map(|k| k * 128).collect();
+        assert_eq!(got, want);
+    }
+}

@@ -7,8 +7,7 @@
 //! existing entry; prefetch-originated entries remember the warps bound to
 //! them so fills can trigger the eager warp wake-up of §V-A.
 
-use std::collections::HashMap;
-
+use crate::linemap::LineMap;
 use crate::types::{Addr, Cycle, Pc, WarpSlot};
 
 /// A demand waiter registered on an in-flight line.
@@ -67,9 +66,13 @@ pub enum MshrOutcome {
 /// Fixed-capacity MSHR file.
 #[derive(Debug)]
 pub struct MshrFile {
-    entries: HashMap<Addr, MshrEntry>,
+    entries: LineMap<MshrEntry>,
     capacity: usize,
     merge_capacity: usize,
+    /// Recycled waiter lists, refilled via [`Self::recycle_waiters`] so
+    /// the steady-state allocate/complete cycle performs no heap
+    /// traffic.
+    waiter_pool: Vec<Vec<Waiter>>,
 }
 
 impl MshrFile {
@@ -78,10 +81,24 @@ impl MshrFile {
     pub fn new(capacity: usize, merge_capacity: usize) -> Self {
         assert!(capacity > 0 && merge_capacity > 0);
         MshrFile {
-            entries: HashMap::with_capacity(capacity),
+            entries: LineMap::with_capacity(capacity),
             capacity,
             merge_capacity,
+            waiter_pool: Vec::new(),
         }
+    }
+
+    /// Return a drained waiter list for reuse by a later allocation.
+    #[inline]
+    pub fn recycle_waiters(&mut self, waiters: Vec<Waiter>) {
+        debug_assert!(waiters.is_empty(), "recycled list must be drained");
+        self.waiter_pool.push(waiters);
+    }
+
+    /// A pooled (or fresh) waiter list.
+    #[inline]
+    fn take_waiters(&mut self) -> Vec<Waiter> {
+        self.waiter_pool.pop().unwrap_or_default()
     }
 
     /// Entries currently in flight.
@@ -105,7 +122,7 @@ impl MshrFile {
     /// Whether `line` is already in flight.
     #[inline]
     pub fn contains(&self, line: Addr) -> bool {
-        self.entries.contains_key(&line)
+        self.entries.contains(line)
     }
 
     /// Whether a demand miss to `line` would merge into an existing
@@ -115,13 +132,13 @@ impl MshrFile {
     #[inline]
     pub fn can_merge(&self, line: Addr) -> bool {
         self.entries
-            .get(&line)
+            .get(line)
             .is_some_and(|e| e.waiters.len() < self.merge_capacity)
     }
 
     /// Track a demand miss for `line`, registering `waiter`.
     pub fn demand_miss(&mut self, line: Addr, waiter: Waiter) -> MshrOutcome {
-        if let Some(e) = self.entries.get_mut(&line) {
+        if let Some(e) = self.entries.get_mut(line) {
             if e.waiters.len() >= self.merge_capacity {
                 return MshrOutcome::ReservationFail;
             }
@@ -135,12 +152,14 @@ impl MshrFile {
         if self.entries.len() >= self.capacity {
             return MshrOutcome::ReservationFail;
         }
+        let mut waiters = self.take_waiters();
+        waiters.push(waiter);
         self.entries.insert(
             line,
             MshrEntry {
                 line,
                 prefetch_origin: false,
-                waiters: vec![waiter],
+                waiters,
                 prefetch: None,
                 demand_joined: true,
             },
@@ -152,7 +171,7 @@ impl MshrFile {
     /// free for demand misses; a prefetch that cannot allocate is simply
     /// dropped by the caller (prefetches are best-effort).
     pub fn prefetch_miss(&mut self, line: Addr, tag: PrefetchTag, reserve: usize) -> MshrOutcome {
-        if let Some(e) = self.entries.get_mut(&line) {
+        if let Some(e) = self.entries.get_mut(line) {
             // A prefetch to a line already in flight adds nothing.
             if e.prefetch.is_none() {
                 e.prefetch = Some(tag);
@@ -164,12 +183,13 @@ impl MshrFile {
         if self.free() <= reserve {
             return MshrOutcome::ReservationFail;
         }
+        let waiters = self.take_waiters();
         self.entries.insert(
             line,
             MshrEntry {
                 line,
                 prefetch_origin: true,
-                waiters: Vec::new(),
+                waiters,
                 prefetch: Some(tag),
                 demand_joined: false,
             },
@@ -181,7 +201,7 @@ impl MshrFile {
     /// does not match an in-flight entry (protocol error).
     pub fn complete(&mut self, line: Addr) -> MshrEntry {
         self.entries
-            .remove(&line)
+            .remove(line)
             .expect("fill for line with no MSHR entry")
     }
 }

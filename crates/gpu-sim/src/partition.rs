@@ -12,6 +12,7 @@ use crate::cache::{Cache, Lookup};
 use crate::config::GpuConfig;
 use crate::dram::{DramChannel, DramRequest};
 use crate::interconnect::{MemReply, MemRequest};
+use crate::linemap::LineMap;
 use crate::mshr::{MshrFile, MshrOutcome, Waiter};
 use crate::types::{AccessKind, Cycle};
 
@@ -45,7 +46,10 @@ pub struct MemoryPartition {
     /// Waiters per in-flight line, parallel to the MSHR (MSHR stores
     /// warp-level waiters for L1; at L2 we need SM-level reply routing,
     /// so we keep our own list keyed through the MSHR entry order).
-    waiters: std::collections::HashMap<u64, Vec<L2Waiter>>,
+    waiters: LineMap<Vec<L2Waiter>>,
+    /// Recycled waiter lists: a fill returns its list here so the steady
+    /// state allocates nothing.
+    waiter_pool: Vec<Vec<L2Waiter>>,
     /// Demand/store requests accepted from the interconnect.
     in_demand: VecDeque<(Cycle, MemRequest)>,
     /// Prefetch requests accepted from the interconnect (serviced only
@@ -60,6 +64,15 @@ pub struct MemoryPartition {
     pub pf_reply_out: VecDeque<MemReply>,
     /// Dirty lines evicted from L2, awaiting a DRAM write slot.
     wb_q: VecDeque<u64>,
+    /// Memoized stalled input head: `Some(line)` when the head load
+    /// missed L2 and could neither merge nor allocate. While the O(1)
+    /// unblock re-checks stay false, `step` skips the L2 lookup and MSHR
+    /// probe the replay would repeat (a stalled retry mutates nothing)
+    /// and only advances the per-cycle stall counter — bit-identical.
+    /// Cleared by any DRAM fill for this partition (which frees MSHR and
+    /// merge capacity and fills L2) and by any accepted request (which
+    /// can change the head across priority classes).
+    stall_memo: Option<u64>,
     /// Stats.
     pub stats: PartitionStats,
     l2_latency: u32,
@@ -72,7 +85,8 @@ impl MemoryPartition {
             id,
             l2: Cache::new(cfg.l2),
             mshr: MshrFile::new(cfg.l2.mshr_entries as usize, cfg.l2.mshr_merge as usize),
-            waiters: std::collections::HashMap::new(),
+            waiters: LineMap::with_capacity(cfg.l2.mshr_entries as usize),
+            waiter_pool: Vec::new(),
             in_demand: VecDeque::new(),
             in_prefetch: VecDeque::new(),
             input_depth: cfg.icnt_queue_depth,
@@ -80,6 +94,7 @@ impl MemoryPartition {
             reply_out: VecDeque::new(),
             pf_reply_out: VecDeque::new(),
             wb_q: VecDeque::new(),
+            stall_memo: None,
             stats: PartitionStats::default(),
             l2_latency: cfg.l2.hit_latency,
         }
@@ -100,10 +115,23 @@ impl MemoryPartition {
     /// Hand a request to the partition (from the interconnect ejection).
     pub fn accept(&mut self, now: Cycle, req: MemRequest) {
         debug_assert!(self.can_accept(req.kind));
+        self.stall_memo = None;
         if req.kind.is_prefetch() {
             self.in_prefetch.push_back((now, req));
         } else {
             self.in_demand.push_back((now, req));
+        }
+    }
+
+    /// Register an SM-level waiter on an in-flight line, recycling list
+    /// storage from completed fills.
+    fn push_waiter(&mut self, line: u64, w: L2Waiter) {
+        if let Some(ws) = self.waiters.get_mut(line) {
+            ws.push(w);
+        } else {
+            let mut ws = self.waiter_pool.pop().unwrap_or_default();
+            ws.push(w);
+            self.waiters.insert(line, ws);
         }
     }
 
@@ -192,13 +220,17 @@ impl MemoryPartition {
         // DRAM fills for this partition → L2 fill + replies.
         for req in dram_done.iter().filter(|r| r.partition == self.id) {
             debug_assert!(!req.is_write);
-            let entry = self.mshr.complete(req.line);
+            self.stall_memo = None;
+            let mut entry = self.mshr.complete(req.line);
+            debug_assert!(entry.line == req.line);
+            entry.waiters.clear();
+            self.mshr.recycle_waiters(entry.waiters);
             let out = self.l2.fill(req.line, None);
             if let Some(victim) = out.writeback {
                 self.wb_q.push_back(victim);
             }
-            if let Some(ws) = self.waiters.remove(&req.line) {
-                for w in ws {
+            if let Some(mut ws) = self.waiters.remove(req.line) {
+                for w in ws.drain(..) {
                     let reply = MemReply {
                         line: req.line,
                         sm: w.sm,
@@ -210,8 +242,8 @@ impl MemoryPartition {
                         self.reply_out.push_back(reply);
                     }
                 }
+                self.waiter_pool.push(ws);
             }
-            debug_assert!(entry.line == req.line);
         }
 
         // Drain pending write-backs opportunistically (lowest priority
@@ -263,6 +295,21 @@ impl MemoryPartition {
                 }
             }
             AccessKind::DemandLoad | AccessKind::Prefetch => {
+                // Memoized stall: the head already missed L2 (no fill
+                // since — a fill clears the memo). It stays stalled while
+                // its entry exists with a full merge list (merge room
+                // frees only on a fill) or, unallocated, while the DRAM
+                // queue or MSHR file stays full — all O(1) re-checks.
+                if self.stall_memo == Some(req.line) {
+                    if !dram.can_accept()
+                        || self.mshr.free() == 0
+                        || self.mshr.contains(req.line)
+                    {
+                        self.stats.dram_queue_stalls += 1;
+                        return;
+                    }
+                    self.stall_memo = None;
+                }
                 match self.l2.access(req.line) {
                     Lookup::Hit { .. } => {
                         self.stats.accesses += 1;
@@ -287,14 +334,18 @@ impl MemoryPartition {
                                     self.stats.accesses += 1;
                                     self.stats.misses += 1;
                                     self.pop_input(from_demand);
-                                    self.waiters.entry(req.line).or_default().push(L2Waiter {
-                                        sm: req.sm,
-                                        is_prefetch: req.kind.is_prefetch(),
-                                    });
+                                    self.push_waiter(
+                                        req.line,
+                                        L2Waiter {
+                                            sm: req.sm,
+                                            is_prefetch: req.kind.is_prefetch(),
+                                        },
+                                    );
                                 }
                                 MshrOutcome::ReservationFail => {
                                     self.stats.dram_queue_stalls += 1;
                                     // Merge capacity exhausted: retry.
+                                    self.stall_memo = Some(req.line);
                                 }
                                 MshrOutcome::Allocated => {
                                     unreachable!("contains() implies merge")
@@ -303,6 +354,7 @@ impl MemoryPartition {
                         } else {
                             if !dram.can_accept() || self.mshr.free() == 0 {
                                 self.stats.dram_queue_stalls += 1;
+                                self.stall_memo = Some(req.line);
                                 return;
                             }
                             let out = self.mshr.demand_miss(req.line, Waiter { warp: 0 });
@@ -310,10 +362,13 @@ impl MemoryPartition {
                             self.stats.accesses += 1;
                             self.stats.misses += 1;
                             self.pop_input(from_demand);
-                            self.waiters.entry(req.line).or_default().push(L2Waiter {
-                                sm: req.sm,
-                                is_prefetch: req.kind.is_prefetch(),
-                            });
+                            self.push_waiter(
+                                req.line,
+                                L2Waiter {
+                                    sm: req.sm,
+                                    is_prefetch: req.kind.is_prefetch(),
+                                },
+                            );
                             dram.push(DramRequest {
                                 line: req.line,
                                 is_write: false,

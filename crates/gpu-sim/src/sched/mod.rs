@@ -7,8 +7,10 @@
 //! leading-warp prioritization and eager prefetch wake-up (PAS, §V-A) and
 //! ORCH-style group-interleaved promotion (Jog et al., ISCA'13).
 
+pub mod slotlist;
 mod two_level;
 
+pub use slotlist::SlotList;
 pub use two_level::TwoLevelScheduler;
 
 use crate::config::{GpuConfig, SchedulerKind};
@@ -58,10 +60,18 @@ pub trait WarpScheduler: Send {
 }
 
 /// Loose round-robin over all resident warps.
+///
+/// The rotation is kept as a pointer into a [`SlotList`] rather than an
+/// integer index, making retirement O(1). The seed's index arithmetic
+/// had one observable quirk this preserves exactly: when the cursor's
+/// warp retires from the tail, the cursor lands "one past the end" — a
+/// position the *next launched* warp occupies (so rotation resumes
+/// there), and which otherwise wraps to the head at the next `pick`.
 #[derive(Debug, Default)]
 pub struct LrrScheduler {
-    warps: Vec<WarpSlot>,
-    cursor: usize,
+    warps: SlotList,
+    cursor: Option<WarpSlot>,
+    cursor_at_end: bool,
 }
 
 impl WarpScheduler for LrrScheduler {
@@ -70,16 +80,28 @@ impl WarpScheduler for LrrScheduler {
     }
 
     fn on_launch(&mut self, w: WarpSlot, _leading: bool, _group: u8) {
-        self.warps.push(w);
+        self.warps.push_back(w);
+        if self.cursor_at_end {
+            // The new warp occupies the position the cursor points at.
+            self.cursor = Some(w);
+            self.cursor_at_end = false;
+        }
     }
 
     fn on_finish(&mut self, w: WarpSlot) {
-        if let Some(i) = self.warps.iter().position(|&x| x == w) {
-            self.warps.remove(i);
-            if self.cursor > i {
-                self.cursor -= 1;
+        if !self.warps.contains(w) {
+            return;
+        }
+        if self.cursor == Some(w) {
+            match self.warps.next_of(w) {
+                Some(n) => self.cursor = Some(n),
+                None => {
+                    self.cursor = None;
+                    self.cursor_at_end = true;
+                }
             }
         }
+        self.warps.remove(w);
     }
 
     fn on_long_latency(&mut self, _w: WarpSlot) {}
@@ -91,23 +113,27 @@ impl WarpScheduler for LrrScheduler {
         _now: Cycle,
         can_issue: &mut dyn FnMut(WarpSlot) -> bool,
     ) -> Option<WarpSlot> {
-        if self.warps.is_empty() {
-            return None;
-        }
-        let n = self.warps.len();
-        for off in 0..n {
-            let idx = (self.cursor + off) % n;
-            let w = self.warps[idx];
+        let head = self.warps.front()?;
+        let start = match self.cursor {
+            Some(c) if !self.cursor_at_end => c,
+            _ => head,
+        };
+        let mut w = start;
+        loop {
             if can_issue(w) {
-                self.cursor = (idx + 1) % n;
+                self.cursor = Some(self.warps.next_of(w).unwrap_or(head));
+                self.cursor_at_end = false;
                 return Some(w);
             }
+            w = self.warps.next_of(w).unwrap_or(head);
+            if w == start {
+                return None;
+            }
         }
-        None
     }
 
     fn has_candidate(&self, can_issue: &mut dyn FnMut(WarpSlot) -> bool) -> bool {
-        self.warps.iter().any(|&w| can_issue(w))
+        self.warps.iter().any(can_issue)
     }
 }
 
@@ -117,10 +143,10 @@ impl WarpScheduler for LrrScheduler {
 /// they compute the base address" (§V-A's GTO adaptation of PAS).
 #[derive(Debug, Default)]
 pub struct GtoScheduler {
-    warps: Vec<WarpSlot>, // launch order
+    warps: SlotList, // launch order
     current: Option<WarpSlot>,
     pas: bool,
-    leading: Vec<WarpSlot>,
+    leading: SlotList,
 }
 
 impl GtoScheduler {
@@ -149,15 +175,15 @@ impl WarpScheduler for GtoScheduler {
     }
 
     fn on_launch(&mut self, w: WarpSlot, leading: bool, _group: u8) {
-        self.warps.push(w);
+        self.warps.push_back(w);
         if self.pas && leading {
-            self.leading.push(w);
+            self.leading.push_back(w);
         }
     }
 
     fn on_finish(&mut self, w: WarpSlot) {
-        self.warps.retain(|&x| x != w);
-        self.leading.retain(|&x| x != w);
+        self.warps.remove(w);
+        self.leading.remove(w);
         if self.current == Some(w) {
             self.current = None;
         }
@@ -172,7 +198,7 @@ impl WarpScheduler for GtoScheduler {
     fn on_ready_again(&mut self, _w: WarpSlot) {}
 
     fn on_leading_done(&mut self, w: WarpSlot) {
-        self.leading.retain(|&x| x != w);
+        self.leading.remove(w);
     }
 
     fn pick(
@@ -183,7 +209,7 @@ impl WarpScheduler for GtoScheduler {
         // Leading warps that have not yet computed their CTA's base
         // address jump the greedy order (§V-A).
         if self.pas {
-            if let Some(&w) = self.leading.iter().find(|&&w| can_issue(w)) {
+            if let Some(w) = self.leading.iter().find(|&w| can_issue(w)) {
                 return Some(w);
             }
         }
@@ -192,7 +218,7 @@ impl WarpScheduler for GtoScheduler {
                 return Some(c);
             }
         }
-        for &w in &self.warps {
+        for w in self.warps.iter() {
             if can_issue(w) {
                 self.current = Some(w);
                 return Some(w);
@@ -204,7 +230,7 @@ impl WarpScheduler for GtoScheduler {
     fn has_candidate(&self, can_issue: &mut dyn FnMut(WarpSlot) -> bool) -> bool {
         // `leading` and `current` are always members of `warps`, so the
         // launch-order scan alone decides whether any pick can succeed.
-        self.warps.iter().any(|&w| can_issue(w))
+        self.warps.iter().any(can_issue)
     }
 }
 

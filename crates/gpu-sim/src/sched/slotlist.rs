@@ -1,0 +1,298 @@
+//! Intrusive position-indexed warp queue.
+//!
+//! The scheduler queues hold warp *slot indices* — small dense integers
+//! bounded by `max_warps_per_sm` — yet the seed implementation stored
+//! them in `Vec`/`VecDeque` and paid an O(n) scan (`position`, `retain`,
+//! `contains`) on every demote, wake-up, and finish event. [`SlotList`]
+//! is the flat replacement: a doubly-linked list threaded through
+//! per-slot `next`/`prev` index arrays plus a membership flag per slot,
+//! so push/insert/remove/contains are all O(1) while iteration still
+//! walks exact FIFO (insertion) order. Removal never reorders the
+//! survivors, matching `Vec::remove`/`retain` semantics — this is what
+//! keeps the PAS leading-segment and FIFO promotion order bit-identical
+//! to the seed (pinned by `tests/structures_differential.rs`).
+
+/// Sentinel for "no slot".
+const NIL: usize = usize::MAX;
+
+/// An ordered set of warp slots with O(1) mutation at any position.
+///
+/// A slot may be a member of the list at most once; `push_*` and
+/// `insert_before` panic (debug) on double insertion.
+#[derive(Debug, Clone)]
+pub struct SlotList {
+    next: Vec<usize>,
+    prev: Vec<usize>,
+    member: Vec<bool>,
+    head: usize,
+    tail: usize,
+    len: usize,
+}
+
+impl Default for SlotList {
+    // A derived Default would zero `head`/`tail` — slot 0, not NIL.
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SlotList {
+    /// Empty list.
+    pub fn new() -> Self {
+        SlotList {
+            next: Vec::new(),
+            prev: Vec::new(),
+            member: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            len: 0,
+        }
+    }
+
+    /// Members currently linked.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no slot is linked.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether `w` is linked.
+    #[inline]
+    pub fn contains(&self, w: usize) -> bool {
+        self.member.get(w).copied().unwrap_or(false)
+    }
+
+    /// First (oldest) member.
+    #[inline]
+    pub fn front(&self) -> Option<usize> {
+        (self.head != NIL).then_some(self.head)
+    }
+
+    /// Last (newest) member.
+    #[inline]
+    pub fn back(&self) -> Option<usize> {
+        (self.tail != NIL).then_some(self.tail)
+    }
+
+    /// Member after `w`, if any. `w` must be linked.
+    #[inline]
+    pub fn next_of(&self, w: usize) -> Option<usize> {
+        debug_assert!(self.contains(w));
+        let n = self.next[w];
+        (n != NIL).then_some(n)
+    }
+
+    fn ensure(&mut self, w: usize) {
+        if self.next.len() <= w {
+            self.next.resize(w + 1, NIL);
+            self.prev.resize(w + 1, NIL);
+            self.member.resize(w + 1, false);
+        }
+    }
+
+    /// Append `w` at the tail.
+    pub fn push_back(&mut self, w: usize) {
+        self.ensure(w);
+        debug_assert!(!self.member[w], "slot {w} already linked");
+        self.member[w] = true;
+        self.prev[w] = self.tail;
+        self.next[w] = NIL;
+        if self.tail != NIL {
+            self.next[self.tail] = w;
+        } else {
+            self.head = w;
+        }
+        self.tail = w;
+        self.len += 1;
+    }
+
+    /// Prepend `w` at the head.
+    pub fn push_front(&mut self, w: usize) {
+        self.ensure(w);
+        debug_assert!(!self.member[w], "slot {w} already linked");
+        self.member[w] = true;
+        self.next[w] = self.head;
+        self.prev[w] = NIL;
+        if self.head != NIL {
+            self.prev[self.head] = w;
+        } else {
+            self.tail = w;
+        }
+        self.head = w;
+        self.len += 1;
+    }
+
+    /// Insert `w` immediately before linked member `anchor`.
+    pub fn insert_before(&mut self, anchor: usize, w: usize) {
+        debug_assert!(self.contains(anchor));
+        self.ensure(w);
+        debug_assert!(!self.member[w], "slot {w} already linked");
+        let p = self.prev[anchor];
+        self.member[w] = true;
+        self.prev[w] = p;
+        self.next[w] = anchor;
+        self.prev[anchor] = w;
+        if p != NIL {
+            self.next[p] = w;
+        } else {
+            self.head = w;
+        }
+        self.len += 1;
+    }
+
+    /// Unlink `w`. Returns `false` if it was not a member.
+    pub fn remove(&mut self, w: usize) -> bool {
+        if !self.contains(w) {
+            return false;
+        }
+        let (p, n) = (self.prev[w], self.next[w]);
+        if p != NIL {
+            self.next[p] = n;
+        } else {
+            self.head = n;
+        }
+        if n != NIL {
+            self.prev[n] = p;
+        } else {
+            self.tail = p;
+        }
+        self.member[w] = false;
+        self.next[w] = NIL;
+        self.prev[w] = NIL;
+        self.len -= 1;
+        true
+    }
+
+    /// Remove and return the head.
+    pub fn pop_front(&mut self) -> Option<usize> {
+        let h = self.front()?;
+        self.remove(h);
+        Some(h)
+    }
+
+    /// Iterate members oldest → newest.
+    pub fn iter(&self) -> SlotIter<'_> {
+        SlotIter {
+            list: self,
+            at: self.head,
+            reverse: false,
+        }
+    }
+
+    /// Iterate members newest → oldest.
+    pub fn iter_rev(&self) -> SlotIter<'_> {
+        SlotIter {
+            list: self,
+            at: self.tail,
+            reverse: true,
+        }
+    }
+}
+
+/// Forward or backward walk over a [`SlotList`].
+#[derive(Debug)]
+pub struct SlotIter<'a> {
+    list: &'a SlotList,
+    at: usize,
+    reverse: bool,
+}
+
+impl Iterator for SlotIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.at == NIL {
+            return None;
+        }
+        let w = self.at;
+        self.at = if self.reverse {
+            self.list.prev[w]
+        } else {
+            self.list.next[w]
+        };
+        Some(w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(l: &SlotList) -> Vec<usize> {
+        l.iter().collect()
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut l = SlotList::new();
+        for w in [3, 7, 1, 9] {
+            l.push_back(w);
+        }
+        assert_eq!(collect(&l), vec![3, 7, 1, 9]);
+        assert_eq!(l.iter_rev().collect::<Vec<_>>(), vec![9, 1, 7, 3]);
+        assert_eq!(l.len(), 4);
+        assert_eq!(l.front(), Some(3));
+        assert_eq!(l.back(), Some(9));
+    }
+
+    #[test]
+    fn remove_middle_head_tail() {
+        let mut l = SlotList::new();
+        for w in 0..5 {
+            l.push_back(w);
+        }
+        assert!(l.remove(2));
+        assert_eq!(collect(&l), vec![0, 1, 3, 4]);
+        assert!(l.remove(0));
+        assert_eq!(collect(&l), vec![1, 3, 4]);
+        assert!(l.remove(4));
+        assert_eq!(collect(&l), vec![1, 3]);
+        assert!(!l.remove(4), "double remove is a no-op");
+        assert!(!l.contains(4));
+        assert_eq!(l.len(), 2);
+    }
+
+    #[test]
+    fn push_front_and_insert_before() {
+        let mut l = SlotList::new();
+        l.push_back(5);
+        l.push_front(2);
+        l.insert_before(5, 8);
+        assert_eq!(collect(&l), vec![2, 8, 5]);
+        l.insert_before(2, 0);
+        assert_eq!(collect(&l), vec![0, 2, 8, 5]);
+    }
+
+    #[test]
+    fn reinsertion_after_remove() {
+        let mut l = SlotList::new();
+        for w in 0..3 {
+            l.push_back(w);
+        }
+        l.remove(1);
+        l.push_back(1);
+        assert_eq!(collect(&l), vec![0, 2, 1]);
+        l.pop_front();
+        assert_eq!(collect(&l), vec![2, 1]);
+    }
+
+    #[test]
+    fn drain_to_empty_and_reuse() {
+        let mut l = SlotList::new();
+        l.push_back(4);
+        l.push_back(6);
+        assert_eq!(l.pop_front(), Some(4));
+        assert_eq!(l.pop_front(), Some(6));
+        assert_eq!(l.pop_front(), None);
+        assert!(l.is_empty());
+        assert_eq!(l.front(), None);
+        assert_eq!(l.back(), None);
+        l.push_back(6);
+        assert_eq!(collect(&l), vec![6]);
+    }
+}

@@ -18,8 +18,7 @@
 //! ORCH grouping (Jog et al.) instead interleaves promotion across
 //! scheduling groups so consecutive warps run in different groups.
 
-use std::collections::VecDeque;
-
+use super::slotlist::SlotList;
 use super::WarpScheduler;
 use crate::types::{Cycle, WarpSlot};
 
@@ -38,11 +37,17 @@ struct WarpInfo {
 }
 
 /// Two-level scheduler; `pas` and `grouped` select the policy extensions.
+///
+/// Both queues are intrusive [`SlotList`]s: demote, wake-up, and finish
+/// events mutate them in O(1) through per-warp index arrays (the seed's
+/// `VecDeque`s paid an O(n) `position`/`retain`/`contains` scan per
+/// event), while FIFO iteration order — and therefore the PAS
+/// leading-segment and promotion semantics — is preserved exactly.
 #[derive(Debug)]
 pub struct TwoLevelScheduler {
     capacity: usize,
-    ready: VecDeque<WarpSlot>,
-    pending: VecDeque<WarpSlot>,
+    ready: SlotList,
+    pending: SlotList,
     info: Vec<WarpInfo>,
     pas: bool,
     grouped: bool,
@@ -58,8 +63,8 @@ impl TwoLevelScheduler {
         assert!(capacity > 0);
         TwoLevelScheduler {
             capacity,
-            ready: VecDeque::with_capacity(capacity),
-            pending: VecDeque::new(),
+            ready: SlotList::new(),
+            pending: SlotList::new(),
             info: Vec::new(),
             pas,
             grouped,
@@ -84,15 +89,19 @@ impl TwoLevelScheduler {
     }
 
     /// Insert into the ready queue honouring the leading-segment rule.
+    /// The scan for the first trailing warp is bounded by `capacity`
+    /// (8 in Table III) and cannot be cached as a pointer: a warp that
+    /// loses its leading flag in place ([`WarpScheduler::on_leading_done`])
+    /// silently moves the segment boundary.
     fn ready_insert(&mut self, w: WarpSlot) {
         debug_assert!(self.ready.len() < self.capacity);
         let leading = self.info[w].leading;
         self.info[w].in_ready = true;
         if self.pas && leading {
             // After the last leading warp, before the first trailing one.
-            let pos = self.ready.iter().position(|&x| !self.info[x].leading);
+            let pos = self.ready.iter().find(|&x| !self.info[x].leading);
             match pos {
-                Some(p) => self.ready.insert(p, w),
+                Some(anchor) => self.ready.insert_before(anchor, w),
                 None => self.ready.push_back(w),
             }
         } else {
@@ -101,46 +110,44 @@ impl TwoLevelScheduler {
     }
 
     fn ready_remove(&mut self, w: WarpSlot) {
-        if let Some(i) = self.ready.iter().position(|&x| x == w) {
-            self.ready.remove(i);
-        }
+        self.ready.remove(w);
         self.info[w].in_ready = false;
     }
 
     /// Choose the next pending warp to promote, honouring policy order.
-    fn promotion_candidate(&self) -> Option<usize> {
+    fn promotion_candidate(&self) -> Option<WarpSlot> {
         let eligible =
             |w: WarpSlot| self.info[w].resident && self.info[w].eligible && !self.info[w].in_ready;
         if self.pas {
             // Leading warps first, then FIFO.
-            if let Some(i) = self
+            if let Some(w) = self
                 .pending
                 .iter()
-                .position(|&w| eligible(w) && self.info[w].leading)
+                .find(|&w| eligible(w) && self.info[w].leading)
             {
-                return Some(i);
+                return Some(w);
             }
         }
         if self.grouped {
             // Prefer a warp from a different group than the last promoted.
-            if let Some(i) = self
+            if let Some(w) = self
                 .pending
                 .iter()
-                .position(|&w| eligible(w) && self.info[w].group != self.last_group)
+                .find(|&w| eligible(w) && self.info[w].group != self.last_group)
             {
-                return Some(i);
+                return Some(w);
             }
         }
-        self.pending.iter().position(|&w| eligible(w))
+        self.pending.iter().find(|&w| eligible(w))
     }
 
     /// Fill free ready-queue slots from the pending queue.
     fn promote(&mut self) {
         while self.ready.len() < self.capacity {
-            let Some(i) = self.promotion_candidate() else {
+            let Some(w) = self.promotion_candidate() else {
                 break;
             };
-            let w = self.pending.remove(i).expect("candidate index valid");
+            self.pending.remove(w);
             self.last_group = self.info[w].group;
             self.ready_insert(w);
         }
@@ -152,11 +159,9 @@ impl TwoLevelScheduler {
         // Scan from the back: prefer the newest trailing warp.
         let victim = self
             .ready
-            .iter()
-            .rev()
-            .copied()
+            .iter_rev()
             .find(|&x| !self.info[x].leading)
-            .or_else(|| self.ready.back().copied());
+            .or_else(|| self.ready.back());
         let Some(v) = victim else { return false };
         self.ready_remove(v);
         // The displaced warp is not memory-blocked: keep it eligible.
@@ -171,7 +176,7 @@ impl TwoLevelScheduler {
     /// counter-productive (it breaks the pipeline the prefetch was
     /// trying to feed), so the wake-up is gentle when the queue is full.
     fn force_into_ready(&mut self, w: WarpSlot) -> bool {
-        self.pending.retain(|&x| x != w);
+        self.pending.remove(w);
         if self.ready.len() < self.capacity {
             self.ready_insert(w);
         } else {
@@ -187,7 +192,12 @@ impl TwoLevelScheduler {
 
     /// Ready-queue contents in priority order (test/diagnostics).
     pub fn ready_order(&self) -> Vec<WarpSlot> {
-        self.ready.iter().copied().collect()
+        self.ready.iter().collect()
+    }
+
+    /// Pending-queue contents in FIFO order (test/diagnostics).
+    pub fn pending_order(&self) -> Vec<WarpSlot> {
+        self.pending.iter().collect()
     }
 }
 
@@ -226,7 +236,7 @@ impl WarpScheduler for TwoLevelScheduler {
 
     fn on_finish(&mut self, w: WarpSlot) {
         self.ready_remove(w);
-        self.pending.retain(|&x| x != w);
+        self.pending.remove(w);
         self.info[w] = WarpInfo::default();
         self.promote();
     }
@@ -234,7 +244,7 @@ impl WarpScheduler for TwoLevelScheduler {
     fn on_long_latency(&mut self, w: WarpSlot) {
         self.ready_remove(w);
         self.info[w].eligible = false;
-        if !self.pending.contains(&w) {
+        if !self.pending.contains(w) {
             self.pending.push_back(w);
         }
         self.promote();
@@ -292,13 +302,13 @@ impl WarpScheduler for TwoLevelScheduler {
         can_issue: &mut dyn FnMut(WarpSlot) -> bool,
     ) -> Option<WarpSlot> {
         // Oldest-first within the (priority-ordered) ready queue.
-        self.ready.iter().copied().find(|&w| can_issue(w))
+        self.ready.iter().find(|&w| can_issue(w))
     }
 
     fn has_candidate(&self, can_issue: &mut dyn FnMut(WarpSlot) -> bool) -> bool {
         // Promotion happens only in event handlers, never inside `pick`,
         // so the ready queue alone decides issueability.
-        self.ready.iter().any(|&w| can_issue(w))
+        self.ready.iter().any(can_issue)
     }
 }
 
@@ -490,10 +500,10 @@ mod tests {
             // Invariant: each resident warp appears exactly once across
             // the two queues.
             let mut count = vec![0usize; 8];
-            for &x in &s.ready {
+            for x in s.ready_order() {
                 count[x] += 1;
             }
-            for &x in &s.pending {
+            for x in s.pending_order() {
                 count[x] += 1;
             }
             assert!(count.iter().all(|&c| c == 1), "round {round}: {count:?}");

@@ -15,6 +15,7 @@ use crate::cta::CtaState;
 use crate::interconnect::MemRequest;
 use crate::isa::Op;
 use crate::kernel::Kernel;
+use crate::linemap::LineMap;
 use crate::mshr::{MshrFile, MshrOutcome, PrefetchTag, Waiter};
 use crate::prefetch::{DemandObservation, PrefetchRequest, Prefetcher};
 use crate::sched::WarpScheduler;
@@ -59,7 +60,7 @@ pub struct Sm {
     /// (enqueue cycle, request) — aged out after `prefetch_max_age`.
     pf_q: VecDeque<(Cycle, PrefetchRequest)>,
     /// Prefetch lines currently in flight to memory.
-    pf_inflight: std::collections::HashMap<Addr, PfInflight>,
+    pf_inflight: LineMap<PfInflight>,
     /// Outbound demand/store requests, drained by the GPU at the
     /// interconnect injection bandwidth.
     pub inject_q: VecDeque<MemRequest>,
@@ -78,6 +79,23 @@ pub struct Sm {
     /// Warps currently in [`WarpState::WaitingMem`], kept incrementally
     /// so the per-cycle `mem_wait_cycles` check is O(1).
     waiting_mem: usize,
+    /// Memoized stalled LD/ST head: `Some(line)` when the head load
+    /// missed L1 and failed its MSHR reservation (or outbound
+    /// backpressure). While the O(1) unblock re-checks stay false the
+    /// replayed L1 lookup and MSHR probe are skipped (a stalled retry
+    /// mutates nothing) and only the per-cycle reservation-fail counter
+    /// advances — bit-identical. Cleared by any fill (which frees MSHR
+    /// capacity and fills L1).
+    stall_memo: Option<Addr>,
+    /// Per-slot issue readiness, indexed by warp slot: `busy_until`
+    /// while the warp is [`WarpState::Ready`], `Cycle::MAX` otherwise.
+    /// A cache-dense mirror of the two [`WarpCtx`] fields the scheduler
+    /// predicate reads — the pick scan runs every cycle over up to
+    /// eight candidates, and the full `WarpCtx` array across 15 SMs
+    /// does not fit in L1d. Updated at every state / `busy_until`
+    /// transition; `debug_assert`ed against the source of truth in the
+    /// issue predicate.
+    issuable_at: Vec<Cycle>,
 }
 
 impl Sm {
@@ -107,7 +125,7 @@ impl Sm {
             mshr: MshrFile::new(cfg.l1d.mshr_entries as usize, cfg.l1d.mshr_merge as usize),
             mem_q: VecDeque::new(),
             pf_q: VecDeque::new(),
-            pf_inflight: std::collections::HashMap::new(),
+            pf_inflight: LineMap::with_capacity(cfg.prefetch_queue_depth),
             inject_q: VecDeque::new(),
             pf_inject_q: VecDeque::new(),
             hit_pipe: VecDeque::new(),
@@ -117,6 +135,8 @@ impl Sm {
             line_pool: Vec::new(),
             active_warps: 0,
             waiting_mem: 0,
+            stall_memo: None,
+            issuable_at: vec![Cycle::MAX; cfg.max_warps_per_sm],
         }
     }
 
@@ -184,6 +204,7 @@ impl Sm {
             let w = base_warp + i as usize;
             let leading = i == 0;
             self.warps[w].launch(slot, i, coord, leading);
+            self.issuable_at[w] = 0;
             self.scheduler.on_launch(w, leading, (i % 2) as u8);
         }
         self.active_warps += self.warps_per_cta as usize;
@@ -193,8 +214,9 @@ impl Sm {
 
     /// A fill returned from the memory hierarchy for `line`.
     pub fn on_fill(&mut self, now: Cycle, line: Addr) {
+        self.stall_memo = None;
         // Prefetch fills are tracked outside the MSHR file.
-        if let Some(pf) = self.pf_inflight.remove(&line) {
+        if let Some(pf) = self.pf_inflight.remove(line) {
             let untouched = pf.waiters.is_empty();
             let provenance = untouched.then_some(PrefetchProvenance {
                 pc: pf.tag.pc,
@@ -219,14 +241,15 @@ impl Sm {
             let _ = now;
             return;
         }
-        let entry = self.mshr.complete(line);
+        let mut entry = self.mshr.complete(line);
         let outcome = self.l1d.fill(line, None);
         if outcome.evicted_unused_prefetch {
             self.stats.prefetch_early_evicted += 1;
         }
-        for w in entry.waiters {
+        for w in entry.waiters.drain(..) {
             self.complete_load(w.warp);
         }
+        self.mshr.recycle_waiters(entry.waiters);
     }
 
     fn complete_load(&mut self, w: WarpSlot) {
@@ -235,6 +258,7 @@ impl Sm {
         warp.outstanding_loads -= 1;
         if warp.outstanding_loads == 0 && warp.state == WarpState::WaitingMem {
             warp.state = WarpState::Ready;
+            self.issuable_at[w] = warp.busy_until;
             self.waiting_mem -= 1;
             self.scheduler.on_ready_again(w);
         }
@@ -277,7 +301,7 @@ impl Sm {
             }
             let line = inst.lines[inst.next];
             if self.l1d.probe(line)
-                || self.pf_inflight.contains_key(&line)
+                || self.pf_inflight.contains(line)
                 || self.mshr.can_merge(line)
                 || (!self.mshr.contains(line) && self.mshr.free() > 0)
             {
@@ -291,7 +315,7 @@ impl Sm {
             if now.saturating_sub(t) > self.cfg.prefetch_max_age as Cycle
                 || self.l1d.probe(req.line)
                 || self.mshr.contains(req.line)
-                || self.pf_inflight.contains_key(&req.line)
+                || self.pf_inflight.contains(req.line)
                 || self.pf_inflight.len() < self.cfg.prefetch_queue_depth
             {
                 return true;
@@ -302,10 +326,10 @@ impl Sm {
         if self.active_warps > 0 {
             let mem_q_open = self.mem_q.len() < self.cfg.ldst_queue_depth;
             let warps = &self.warps;
+            let issuable_at = &self.issuable_at;
             let program = &kernel.program;
             let mut can_issue = |w: WarpSlot| {
-                let warp = &warps[w];
-                warp.can_issue(now) && !(program.op(warp.pc).is_mem() && !mem_q_open)
+                issuable_at[w] <= now && (mem_q_open || !program.op_is_mem(warps[w].pc))
             };
             if self.scheduler.has_candidate(&mut can_issue) {
                 return true;
@@ -400,6 +424,24 @@ impl Sm {
             return;
         }
 
+        // Memoized stall: the head already missed L1 (no fill since — a
+        // fill clears the memo). An in-flight prefetch for the line
+        // would merge it forward; otherwise it stays stalled while its
+        // MSHR entry exists with a full merge list (room frees only on
+        // a fill) or, unallocated, while the outbound queue or MSHR
+        // file stays full — all O(1) re-checks.
+        if self.stall_memo == Some(line) {
+            if !self.pf_inflight.contains(line)
+                && (self.mshr.contains(line)
+                    || self.inject_q.len() >= self.cfg.ldst_queue_depth * 4
+                    || self.mshr.free() == 0)
+            {
+                self.stats.l1d_reservation_fails += 1;
+                return;
+            }
+            self.stall_memo = None;
+        }
+
         match self.l1d.access(line) {
             Lookup::Hit {
                 first_use_of_prefetch,
@@ -418,7 +460,7 @@ impl Sm {
             Lookup::Miss => {
                 // Demand to a line with an in-flight prefetch: merge into
                 // it — a *late* prefetch still hides part of the latency.
-                if let Some(pf) = self.pf_inflight.get_mut(&line) {
+                if let Some(pf) = self.pf_inflight.get_mut(line) {
                     self.stats.l1d_demand_accesses += 1;
                     self.stats.l1d_demand_misses += 1;
                     if pf.waiters.is_empty() {
@@ -431,6 +473,7 @@ impl Sm {
                 let will_allocate = !self.mshr.contains(line);
                 if will_allocate && self.inject_q.len() >= self.cfg.ldst_queue_depth * 4 {
                     self.stats.l1d_reservation_fails += 1;
+                    self.stall_memo = Some(line);
                     return;
                 }
                 match self.mshr.demand_miss(line, Waiter { warp }) {
@@ -458,6 +501,7 @@ impl Sm {
                     MshrOutcome::ReservationFail => {
                         self.stats.l1d_reservation_fails += 1;
                         // Head of queue replays next cycle.
+                        self.stall_memo = Some(line);
                     }
                 }
             }
@@ -500,7 +544,7 @@ impl Sm {
         // being prefetched.
         if self.l1d.probe(req.line)
             || self.mshr.contains(req.line)
-            || self.pf_inflight.contains_key(&req.line)
+            || self.pf_inflight.contains(req.line)
         {
             self.pf_q.pop_front();
             self.stats.prefetch_dropped += 1;
@@ -565,14 +609,25 @@ impl Sm {
         }
         let mem_q_open = self.mem_q.len() < self.cfg.ldst_queue_depth;
         let warps = &self.warps;
+        let issuable_at = &self.issuable_at;
         let program = &kernel.program;
         let mut can_issue = |w: WarpSlot| {
-            let warp = &warps[w];
-            if !warp.can_issue(now) {
+            debug_assert_eq!(
+                issuable_at[w],
+                if warps[w].state == WarpState::Ready {
+                    warps[w].busy_until
+                } else {
+                    Cycle::MAX
+                },
+                "issuable_at mirror out of sync for slot {w}"
+            );
+            if issuable_at[w] > now {
                 return false;
             }
             // Structural hazard: memory ops need LD/ST queue space.
-            if program.op(warp.pc).is_mem() && !mem_q_open {
+            // `mem_q_open` first: when the queue has room (the common
+            // case) the op table is never touched.
+            if !mem_q_open && program.op_is_mem(warps[w].pc) {
                 return false;
             }
             true
@@ -590,6 +645,7 @@ impl Sm {
             Op::Alu { cycles } => {
                 let warp = &mut self.warps[w];
                 warp.busy_until = now + cycles as Cycle;
+                self.issuable_at[w] = warp.busy_until;
                 warp.pc += 1;
                 self.stats.warp_instructions += 1;
             }
@@ -682,6 +738,7 @@ impl Sm {
                 warp.pc += 1;
                 if warp.outstanding_loads > 0 {
                     warp.state = WarpState::WaitingMem;
+                    self.issuable_at[w] = Cycle::MAX;
                     self.waiting_mem += 1;
                     self.scheduler.on_long_latency(w);
                 }
@@ -731,6 +788,7 @@ impl Sm {
                     for ws in slots {
                         if self.warps[ws].state == WarpState::AtBarrier {
                             self.warps[ws].state = WarpState::Ready;
+                            self.issuable_at[ws] = self.warps[ws].busy_until;
                             self.scheduler.on_ready_again(ws);
                         }
                     }
@@ -739,6 +797,7 @@ impl Sm {
                     // the barrier as a long-latency event (demote), or
                     // CTAs deadlock waiting for mates stuck in pending.
                     self.warps[w].state = WarpState::AtBarrier;
+                    self.issuable_at[w] = Cycle::MAX;
                     self.scheduler.on_long_latency(w);
                 }
             }
@@ -751,6 +810,7 @@ impl Sm {
     fn finish_warp(&mut self, w: WarpSlot, completed: &mut Vec<CtaCoord>) {
         let slot = self.warps[w].cta_slot;
         self.warps[w].state = WarpState::Finished;
+        self.issuable_at[w] = Cycle::MAX;
         self.scheduler.on_finish(w);
         self.active_warps -= 1;
         let cta = self.cta_slots[slot]

@@ -171,7 +171,7 @@ mod tests {
         let dir = std::env::temp_dir().join("caps-export-test");
         std::fs::create_dir_all(&dir).expect("tmp dir");
         let path = dir.join("records.json");
-        save(&[r.clone()], &path).expect("save");
+        save(std::slice::from_ref(&r), &path).expect("save");
         let back = load(&path).expect("load");
         assert_eq!(back[0].stats, r.stats);
         let _ = std::fs::remove_file(&path);

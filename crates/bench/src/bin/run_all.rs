@@ -7,11 +7,18 @@
 //!
 //! `--threads N` caps the harness worker count (default: one worker per
 //! available core).
+//!
+//! After the figures, the binary runs an engine-determinism smoke: every
+//! workload once per stepping engine — naive, fast (event-horizon), and
+//! fast+parallel (phase-split, 4 workers) — prints the per-workload
+//! timing table, and **exits non-zero if any stats field differs between
+//! engines**, so CI catches determinism drift cheaply.
 
 use std::fs;
 use std::path::Path;
+use std::time::Instant;
 
-use caps_metrics::{save, RunSpec};
+use caps_metrics::{run_one_with_opts, save, Engine, RunOpts, RunSpec, Table};
 use caps_workloads::Scale;
 
 fn write(dir: &Path, name: &str, contents: String) {
@@ -111,4 +118,57 @@ fn main() {
             "paper scale"
         }
     );
+
+    // Engine-determinism smoke: every workload once per stepping engine.
+    // The three engines must agree on every stats field; timing columns
+    // double as a coarse per-workload throughput report.
+    const PAR_THREADS: usize = 4;
+    println!("\nStepping-engine determinism (CAPS; naive vs fast vs parallel x{PAR_THREADS}):");
+    let mut table = Table::new(&[
+        "bench", "cycles", "naive s", "fast s", "par s", "fast x", "par x",
+    ]);
+    let mut drift = Vec::new();
+    for w in caps_bench::workloads() {
+        let mut spec = RunSpec::paper(w, Engine::Caps);
+        spec.scale = scale;
+        let time = |ff: bool, threads: usize| {
+            let opts = RunOpts {
+                fast_forward: Some(ff),
+                sim_threads: Some(threads),
+                ..RunOpts::default()
+            };
+            let t0 = Instant::now();
+            let rec = run_one_with_opts(&spec, &opts);
+            (rec, t0.elapsed().as_secs_f64())
+        };
+        let (naive, naive_s) = time(false, 1);
+        let (fast, fast_s) = time(true, 1);
+        let (par, par_s) = time(true, PAR_THREADS);
+        if fast.stats != naive.stats {
+            drift.push(format!("{}: fast engine diverged from naive", naive.workload));
+        }
+        if par.stats != naive.stats {
+            drift.push(format!(
+                "{}: parallel engine (x{PAR_THREADS}) diverged from naive",
+                naive.workload
+            ));
+        }
+        table.row(vec![
+            naive.workload.clone(),
+            format!("{}", naive.stats.cycles),
+            format!("{naive_s:.3}"),
+            format!("{fast_s:.3}"),
+            format!("{par_s:.3}"),
+            format!("{:.2}", naive_s / fast_s),
+            format!("{:.2}", naive_s / par_s),
+        ]);
+    }
+    println!("{}", table.render());
+    if !drift.is_empty() {
+        for d in &drift {
+            eprintln!("DETERMINISM DRIFT — {d}");
+        }
+        std::process::exit(1);
+    }
+    println!("determinism: all engines bit-identical on every workload");
 }

@@ -1,12 +1,43 @@
 //! Whole-GPU simulation loop: SMs, two interconnect networks, memory
 //! partitions, DRAM channels, and the CTA distributor.
+//!
+//! # The phase-split cycle engine
+//!
+//! A core cycle is executed as four explicit phases with deterministic
+//! barriers between them (see DESIGN.md §9c):
+//!
+//! 1. **SM-local phase** — per SM: drain that SM's reply lanes, deliver
+//!    fills, and advance the pipeline (fetch/issue/execute/L1/prefetch).
+//!    SMs interact only through the interconnect, so this phase is data
+//!    parallel over SMs.
+//! 2. **Injection phase** — drain each SM's outbound queue into the
+//!    request networks in fixed `(sm_id, queue order)`, serially, so
+//!    per-destination packet order is identical to sequential stepping.
+//! 3. **Memory-local phase** — per DRAM channel: eject requests into the
+//!    channel's partitions, advance the channel, advance its partitions
+//!    (L2/MSHR/FR-FCFS). Partitions sharing a channel form one shard, so
+//!    this phase is data parallel over channels.
+//! 4. **Reply-merge phase** — drain partition reply queues into the
+//!    reply networks in fixed partition order, serially, then refill
+//!    CTA slots.
+//!
+//! With `sim_threads > 1` phases 1 and 3 fan out over a persistent
+//! [`ShardPool`]; each worker owns a disjoint set of SMs (resp.
+//! channels) *and their interconnect lanes and quiescence-cache
+//! entries*, so no shared mutable state exists inside a parallel phase —
+//! no locks, no atomics, and statistics live in per-component counters
+//! merged once at the end of the run. Because the parallel engine runs
+//! the same phase bodies over the same disjoint state in the same
+//! per-shard order, its output is bit-identical to the sequential
+//! engine for every thread count (enforced by the differential suite).
 
 use crate::config::GpuConfig;
 use crate::cta_scheduler::CtaDistributor;
 use crate::dram::{DramChannel, DramRequest};
-use crate::interconnect::{MemReply, MemRequest, Network};
+use crate::interconnect::{Lane, MemReply, MemRequest, Network};
 use crate::kernel::Kernel;
 use crate::partition::MemoryPartition;
+use crate::pool::ShardPool;
 use crate::prefetch::PrefetcherFactory;
 use crate::sched::make_scheduler;
 use crate::sm::Sm;
@@ -33,8 +64,14 @@ pub struct Gpu {
     channels: Vec<DramChannel>,
     distributor: CtaDistributor,
     cycle: Cycle,
-    dram_done_scratch: Vec<DramRequest>,
-    completed_scratch: Vec<CtaCoord>,
+    /// Per-channel DRAM completion scratch (a channel's completions only
+    /// ever target partitions mapped to it, so the scratch shards with
+    /// the channel).
+    dram_scratch: Vec<Vec<DramRequest>>,
+    /// Per-worker completed-CTA scratch; contents are only tested for
+    /// emptiness (the refill trigger), so per-shard collection needs no
+    /// merge step.
+    completed_shards: Vec<Vec<CtaCoord>>,
     /// Event-horizon fast-forward: when no component can make progress,
     /// jump the clock to the next event instead of stepping cycle by
     /// cycle. Statistics are bit-identical either way; disabled by the
@@ -48,16 +85,332 @@ pub struct Gpu {
     /// before `sm_quiet_until[i]` unless an external event (a fill, a
     /// CTA launch, a rebind) touches it first — each of those resets the
     /// entry to 0. Lets the step loop replace a stalled SM's whole
-    /// pipeline walk with O(1) analytic stat accounting.
+    /// pipeline walk with O(1) analytic stat accounting. The machine-wide
+    /// horizon gate aggregates these per-shard caches with a min scan.
     sm_quiet_until: Vec<Cycle>,
+    /// Per-SM probe backoff: while an SM keeps answering "can progress",
+    /// probing it again every cycle is pure overhead (the answer is
+    /// almost always the same), so `sm_probe_at[i]` defers the next
+    /// `can_progress` probe and the SM is stepped directly in between —
+    /// exactly what naive stepping does, so this is bit-identical and
+    /// only delays quiescence *detection* by at most the backoff.
+    sm_probe_at: Vec<Cycle>,
+    /// Consecutive "active" probe answers per SM, exponent of the
+    /// backoff window (capped); reset by a "cannot progress" answer.
+    sm_probe_streak: Vec<u8>,
     /// Per-partition twin of `sm_quiet_until`: reset whenever the
     /// partition accepts a request, receives a DRAM fill, or its channel
     /// steps (the only external ways a partition un-stalls).
     part_quiet_until: Vec<Cycle>,
+    /// Per-partition probe backoff (twin of `sm_probe_at`): a partition
+    /// whose channel is active is probed every cycle otherwise, and its
+    /// `can_progress` walks the L2 tag store and MSHR file.
+    part_probe_at: Vec<Cycle>,
+    part_probe_streak: Vec<u8>,
+    /// Per-channel probe backoff: `DramChannel::can_progress` scans the
+    /// FR-FCFS queue, which a busy channel re-walks in `step` anyway.
+    ch_probe_at: Vec<Cycle>,
+    ch_probe_streak: Vec<u8>,
     /// Per-channel twin: a channel's timers move only under its own
     /// `step`, so the cache is reset only when a partition pushes a new
     /// request into it.
     ch_quiet_until: Vec<Cycle>,
+    /// Adaptive minimum-profitable-jump threshold (see
+    /// [`Self::MIN_PROFITABLE_SKIP_FLOOR`]): raised when probes keep
+    /// failing or jumps come up short, lowered again after long jumps.
+    min_profitable_skip: Cycle,
+    /// Consecutive-ish count of unprofitable probe outcomes feeding the
+    /// threshold backoff.
+    probe_debt: u32,
+    /// Skip-rate governor: while `true`, the fast-forward machinery
+    /// (quiescence caches, probes, horizon gate) is live; while `false`,
+    /// cycles step purely naively with zero fast-forward overhead.
+    /// Sampling windows measure the realized benefit and close the gate
+    /// for exponentially growing spans on workloads that never quiesce
+    /// (see [`Self::gate_boundary`]). Both modes account identical
+    /// statistics, so the governor cannot perturb results.
+    ff_gate_open: bool,
+    /// Cycle at which the current sampling window (gate open) or penalty
+    /// span (gate closed) ends.
+    gate_window_end: Cycle,
+    /// Length of the next penalty span; doubles after each consecutive
+    /// unprofitable sample up to [`Self::GATE_OFF_SPAN_CAP`].
+    gate_off_span: Cycle,
+    /// Benefit accumulated in the current sampling window, in units of
+    /// avoided SM steps (quiet-SM cycles plus machine-wide jump cycles
+    /// weighted by SM count).
+    gate_benefit: u64,
+    /// Requested intra-simulation worker count (1 = sequential engine).
+    sim_threads: usize,
+    /// Lazily-created persistent worker pool for the parallel phases.
+    pool: Option<ShardPool>,
+}
+
+/// Cap on the per-SM probe-backoff exponent: an SM that keeps answering
+/// "can progress" is re-probed at most every `2^5 = 32` cycles, bounding
+/// both the probe overhead on compute-dense phases (~3%) and the delay
+/// before a freshly stalled SM is detected as quiescent.
+const MAX_PROBE_BACKOFF_LOG2: u8 = 5;
+
+/// Shard `w` of `t` over `n` items: the contiguous range
+/// `[w*n/t, (w+1)*n/t)`. Deterministic and independent of execution
+/// order; empty when `w >= t`.
+#[inline]
+fn shard_range(w: usize, n: usize, t: usize) -> std::ops::Range<usize> {
+    if w >= t {
+        return 0..0;
+    }
+    (w * n / t)..((w + 1) * n / t)
+}
+
+/// Raw-pointer view of the SM-local phase state. Each worker touches
+/// only the SMs in its shard range plus exactly those SMs' reply lanes,
+/// quiescence-cache entries, and its own completed scratch — disjoint by
+/// construction, which is what makes the `Sync` impl sound.
+struct SmPhase<'a> {
+    sms: *mut Sm,
+    reply: *mut Lane<MemReply>,
+    pf_reply: *mut Lane<MemReply>,
+    quiet: *mut Cycle,
+    probe_at: *mut Cycle,
+    probe_streak: *mut u8,
+    completed: *mut Vec<CtaCoord>,
+    kernel: &'a Kernel,
+    num_sms: usize,
+    threads: usize,
+    bw: u32,
+    depth: usize,
+    fast_forward: bool,
+    now: Cycle,
+}
+
+// SAFETY: workers dereference disjoint indices (see `shard_range`); the
+// shared `kernel` reference is read-only. All pointed-to types are Send.
+unsafe impl Sync for SmPhase<'_> {}
+
+impl SmPhase<'_> {
+    /// Run the SM-local phase for shard `w`.
+    ///
+    /// # Safety
+    /// At most one concurrent caller per distinct `w`; pointers must be
+    /// valid for `num_sms` elements (`completed` for `threads`).
+    unsafe fn run_shard(&self, w: usize) {
+        let completed = &mut *self.completed.add(w);
+        for i in shard_range(w, self.num_sms, self.threads) {
+            let sm = &mut *self.sms.add(i);
+            let quiet = &mut *self.quiet.add(i);
+            let lane = &mut *self.reply.add(i);
+            let pf_lane = &mut *self.pf_reply.add(i);
+
+            // 1a. Deliver fills: demand replies first, then the prefetch
+            // virtual channel.
+            lane.step(self.now, self.depth);
+            pf_lane.step(self.now, self.depth);
+            for _ in 0..self.bw {
+                match lane.pop_one() {
+                    Some(reply) => {
+                        sm.on_fill(self.now, reply.line);
+                        *quiet = 0;
+                    }
+                    None => break,
+                }
+            }
+            for _ in 0..self.bw {
+                match pf_lane.pop_one() {
+                    Some(reply) => {
+                        sm.on_fill(self.now, reply.line);
+                        *quiet = 0;
+                    }
+                    None => break,
+                }
+            }
+
+            // 1b. Pipeline. With fast-forward, an SM that provably cannot
+            // progress this cycle is not stepped: its per-cycle counters
+            // are accounted analytically and the verdict is cached until
+            // its own next event (external events reset the cache to 0).
+            // While probes keep answering "active", probing itself is the
+            // overhead (compute-dense SMs answer yes for thousands of
+            // cycles straight), so consecutive yes-answers back the next
+            // probe off exponentially and the SM is stepped directly in
+            // between — identical to naive stepping, so only quiescence
+            // *detection* is delayed, never the simulated outcome.
+            if self.fast_forward {
+                if *quiet > self.now {
+                    sm.account_skipped(1);
+                    continue;
+                }
+                let probe_at = &mut *self.probe_at.add(i);
+                if self.now >= *probe_at {
+                    if !sm.can_progress(self.now, self.kernel) {
+                        *self.probe_streak.add(i) = 0;
+                        sm.account_skipped(1);
+                        *quiet = sm.next_event(self.now).unwrap_or(Cycle::MAX);
+                        continue;
+                    }
+                    let streak = &mut *self.probe_streak.add(i);
+                    *probe_at = self.now + (1u64 << *streak);
+                    *streak = (*streak + 1).min(MAX_PROBE_BACKOFF_LOG2);
+                }
+            }
+            sm.step(self.now, self.kernel, completed);
+        }
+    }
+}
+
+/// Raw-pointer view of the memory-local phase state, sharded by DRAM
+/// channel. A worker that owns channel `c` also owns every partition
+/// with `p % num_channels == c`, those partitions' request lanes and
+/// quiescence entries, and the channel's completion scratch — again
+/// disjoint by construction.
+struct MemPhase {
+    partitions: *mut MemoryPartition,
+    channels: *mut DramChannel,
+    req: *mut Lane<MemRequest>,
+    pf_req: *mut Lane<MemRequest>,
+    part_quiet: *mut Cycle,
+    part_probe_at: *mut Cycle,
+    part_probe_streak: *mut u8,
+    ch_quiet: *mut Cycle,
+    ch_probe_at: *mut Cycle,
+    ch_probe_streak: *mut u8,
+    scratch: *mut Vec<DramRequest>,
+    num_partitions: usize,
+    num_channels: usize,
+    threads: usize,
+    bw: u32,
+    depth: usize,
+    fast_forward: bool,
+    now: Cycle,
+}
+
+// SAFETY: as for `SmPhase` — the channel-group decomposition gives each
+// worker exclusive access to everything it dereferences.
+unsafe impl Sync for MemPhase {}
+
+impl MemPhase {
+    /// Run the memory-local phase for shard `w`.
+    ///
+    /// # Safety
+    /// At most one concurrent caller per distinct `w`; pointers must be
+    /// valid for their respective element counts.
+    unsafe fn run_shard(&self, w: usize) {
+        for c in shard_range(w, self.num_channels, self.threads) {
+            let ch = &mut *self.channels.add(c);
+            let ch_quiet = &mut *self.ch_quiet.add(c);
+            let scratch = &mut *self.scratch.add(c);
+
+            // 3a. Request networks → partitions (consumer-checked
+            // ejection; demand channel first).
+            let mut p = c;
+            while p < self.num_partitions {
+                let part = &mut *self.partitions.add(p);
+                let quiet = &mut *self.part_quiet.add(p);
+                for lane in [&mut *self.req.add(p), &mut *self.pf_req.add(p)] {
+                    lane.step(self.now, self.depth);
+                    for _ in 0..self.bw {
+                        let Some(req) = lane.peek() else {
+                            break;
+                        };
+                        if !part.can_accept(req.kind) {
+                            break;
+                        }
+                        let req = lane.pop_one().expect("peeked");
+                        part.accept(self.now, req);
+                        *quiet = 0;
+                    }
+                }
+                p += self.num_channels;
+            }
+
+            // 3b. The DRAM channel advances; completions collect in the
+            // per-channel scratch. A channel whose probe says "nothing
+            // matures, no bank ready" would step as a pure no-op, so
+            // under fast-forward it is skipped outright until its own
+            // next timer — only a partition pushing a request can
+            // unquiesce it earlier, and that push resets the cache below.
+            scratch.clear();
+            let mut ch_stepped = false;
+            if self.fast_forward {
+                if *ch_quiet > self.now {
+                    // skip
+                } else {
+                    let probe_at = &mut *self.ch_probe_at.add(c);
+                    let mut progress = true;
+                    if self.now >= *probe_at {
+                        let streak = &mut *self.ch_probe_streak.add(c);
+                        if ch.can_progress(self.now) {
+                            *probe_at = self.now + (1u64 << *streak);
+                            *streak = (*streak + 1).min(MAX_PROBE_BACKOFF_LOG2);
+                        } else {
+                            *streak = 0;
+                            *ch_quiet = ch.next_event(self.now).unwrap_or(Cycle::MAX);
+                            progress = false;
+                        }
+                    }
+                    if progress {
+                        ch.step(self.now, scratch);
+                        ch_stepped = true;
+                    }
+                }
+            } else {
+                ch.step(self.now, scratch);
+                ch_stepped = true;
+            }
+
+            // 3c. Partitions service inputs and emit replies. Under
+            // fast-forward a partition provably stalled until
+            // `part_quiet_until[p]` only accounts its per-cycle stall
+            // counter; the cache is reset on every event that can
+            // unblock it (an accepted request above, a DRAM fill, or any
+            // step of its channel — which can free queue space or MSHRs).
+            let mut p = c;
+            while p < self.num_partitions {
+                let part = &mut *self.partitions.add(p);
+                let quiet = &mut *self.part_quiet.add(p);
+                if self.fast_forward {
+                    if ch_stepped {
+                        *quiet = 0;
+                    }
+                    let has_fill =
+                        !scratch.is_empty() && scratch.iter().any(|r| r.partition == p);
+                    if !has_fill {
+                        if *quiet > self.now {
+                            part.account_skipped(1);
+                            p += self.num_channels;
+                            continue;
+                        }
+                        // The `can_progress` probe walks L2 tags and the
+                        // MSHR tables — comparable cost to the step it
+                        // would save. After a successful probe, step
+                        // blindly for a geometrically growing window
+                        // (stepping a stalled partition is stats-identical
+                        // to `account_skipped`, so this never changes
+                        // results, only delays quiescence detection).
+                        let probe_at = &mut *self.part_probe_at.add(p);
+                        if self.now >= *probe_at {
+                            if !part.can_progress(self.now, ch) {
+                                *self.part_probe_streak.add(p) = 0;
+                                part.account_skipped(1);
+                                *quiet = part.next_event(self.now).unwrap_or(Cycle::MAX);
+                                p += self.num_channels;
+                                continue;
+                            }
+                            let streak = &mut *self.part_probe_streak.add(p);
+                            *probe_at = self.now + (1u64 << *streak);
+                            *streak = (*streak + 1).min(MAX_PROBE_BACKOFF_LOG2);
+                        }
+                    }
+                }
+                let pending_before = ch.pending();
+                part.step(self.now, ch, scratch);
+                if ch.pending() != pending_before {
+                    *ch_quiet = 0;
+                }
+                p += self.num_channels;
+            }
+        }
+    }
 }
 
 impl Gpu {
@@ -104,7 +457,7 @@ impl Gpu {
         let partitions = (0..cfg.num_partitions)
             .map(|id| MemoryPartition::new(id, &cfg))
             .collect();
-        let channels = (0..cfg.num_dram_channels)
+        let channels: Vec<DramChannel> = (0..cfg.num_dram_channels)
             .map(|_| DramChannel::new(&cfg))
             .collect();
         let distributor = CtaDistributor::new(kernel.num_ctas());
@@ -123,14 +476,28 @@ impl Gpu {
             channels,
             distributor,
             cycle: 0,
-            dram_done_scratch: Vec::new(),
-            completed_scratch: Vec::new(),
+            dram_scratch: (0..num_channels).map(|_| Vec::new()).collect(),
+            completed_shards: vec![Vec::new()],
             fast_forward: std::env::var_os("GPU_SIM_NO_SKIP").is_none(),
             skipped_cycles: 0,
             skip_events: 0,
             sm_quiet_until: vec![0; num_sms],
+            sm_probe_at: vec![0; num_sms],
+            sm_probe_streak: vec![0; num_sms],
             part_quiet_until: vec![0; num_partitions],
+            part_probe_at: vec![0; num_partitions],
+            part_probe_streak: vec![0; num_partitions],
             ch_quiet_until: vec![0; num_channels],
+            ch_probe_at: vec![0; num_channels],
+            ch_probe_streak: vec![0; num_channels],
+            min_profitable_skip: Self::MIN_PROFITABLE_SKIP_FLOOR,
+            probe_debt: 0,
+            ff_gate_open: true,
+            gate_window_end: Self::GATE_WINDOW,
+            gate_off_span: Self::GATE_WINDOW,
+            gate_benefit: 0,
+            sim_threads: threads_from_env(),
+            pool: None,
         }
     }
 
@@ -145,9 +512,46 @@ impl Gpu {
     /// environment).
     pub fn set_fast_forward(&mut self, on: bool) {
         self.fast_forward = on;
+        self.reset_quiescence_caches();
+        self.min_profitable_skip = Self::MIN_PROFITABLE_SKIP_FLOOR;
+        self.probe_debt = 0;
+        self.ff_gate_open = true;
+        self.gate_off_span = Self::GATE_WINDOW;
+        self.gate_window_end = self.cycle + Self::GATE_WINDOW;
+        self.gate_benefit = 0;
+    }
+
+    /// Zero every per-component quiescence cache and probe-backoff entry
+    /// (required whenever they may have gone stale: a mode switch, a
+    /// kernel rebind, or the skip-rate gate reopening after a span of
+    /// naive stepping during which nothing maintained them).
+    fn reset_quiescence_caches(&mut self) {
         self.sm_quiet_until.fill(0);
+        self.sm_probe_at.fill(0);
+        self.sm_probe_streak.fill(0);
         self.part_quiet_until.fill(0);
+        self.part_probe_at.fill(0);
+        self.part_probe_streak.fill(0);
         self.ch_quiet_until.fill(0);
+        self.ch_probe_at.fill(0);
+        self.ch_probe_streak.fill(0);
+    }
+
+    /// Set the intra-simulation worker count (1 = the sequential
+    /// engine). Output is bit-identical for every value; `n` only
+    /// changes host-side execution. Defaults to `GPU_SIM_THREADS`
+    /// (forced to 1 by `GPU_SIM_SEQ=1`).
+    pub fn set_sim_threads(&mut self, n: usize) {
+        let n = n.max(1);
+        if n != self.sim_threads {
+            self.sim_threads = n;
+            self.pool = None; // re-created at the right width on demand
+        }
+    }
+
+    /// The configured intra-simulation worker count.
+    pub fn sim_threads(&self) -> usize {
+        self.sim_threads
     }
 
     /// Current simulated cycle.
@@ -219,35 +623,135 @@ impl Gpu {
             // same scan yields the nearest cached SM event — an upper
             // bound on how far a skip could jump (the horizon takes the
             // min over these and more). When that bound is under
-            // `MIN_PROFITABLE_SKIP`, the `can_progress` probe plus the
+            // `min_profitable_skip`, the `can_progress` probe plus the
             // `horizon` walk would cost more host time than the handful
             // of simulated cycles they could skip, so short gaps are
             // stepped naively. Both paths account identical statistics,
-            // so the backoff cannot perturb results.
+            // so neither the backoff nor its adaptation can perturb
+            // results.
             if self.fast_forward {
-                let min_quiet = self.sm_quiet_until.iter().copied().min().unwrap_or(0);
-                if min_quiet > now
-                    && min_quiet - now >= Self::MIN_PROFITABLE_SKIP
-                    && !self.can_progress(now)
-                {
-                    // Nothing can happen before the horizon. `None` means
-                    // a deadlocked configuration: jump straight to the
-                    // cap, exactly as the naive loop would spin to it.
-                    let target = self.horizon(now).unwrap_or(max_cycles).min(max_cycles);
-                    debug_assert!(target > now, "horizon must be in the future");
-                    self.skip_to(now, target);
-                    continue;
+                if now >= self.gate_window_end {
+                    self.gate_boundary(now);
+                }
+                if self.ff_gate_open {
+                    // One pass yields both the machine-wide bound and the
+                    // window's benefit sample (each quiet SM this cycle is
+                    // one avoided pipeline walk).
+                    let mut min_quiet = Cycle::MAX;
+                    let mut quiet_sms = 0u64;
+                    for &q in &self.sm_quiet_until {
+                        min_quiet = min_quiet.min(q);
+                        quiet_sms += u64::from(q > now);
+                    }
+                    self.gate_benefit += quiet_sms;
+                    if min_quiet > now && min_quiet - now >= self.min_profitable_skip {
+                        if !self.can_progress(now) {
+                            // Nothing can happen before the horizon. `None`
+                            // means a deadlocked configuration: jump straight
+                            // to the cap, exactly as the naive loop would
+                            // spin to it.
+                            let target = self.horizon(now).unwrap_or(max_cycles).min(max_cycles);
+                            debug_assert!(target > now, "horizon must be in the future");
+                            let delta = target - now;
+                            self.skip_to(now, target);
+                            self.tune_after_jump(delta);
+                            self.gate_benefit +=
+                                delta.saturating_mul(self.cfg.num_sms as u64);
+                            continue;
+                        }
+                        // The cached bound over-promised: the probe found a
+                        // progressing component, so its cost bought nothing.
+                        self.tune_after_wasted_probe();
+                    }
                 }
             }
             self.step();
         }
     }
 
-    /// Smallest estimated jump worth the fast-forward machinery. Tuned
-    /// on SCN (compute-bound, short quiescent gaps between execution
-    /// timers), where probing every 1–3-cycle gap made fast-forward a
-    /// net loss.
-    const MIN_PROFITABLE_SKIP: Cycle = 8;
+    /// Sampling window for the skip-rate governor, in simulated cycles.
+    const GATE_WINDOW: Cycle = 1024;
+    /// Longest span the gate stays closed before re-sampling. Bounds the
+    /// skips forfeited when a closed-gate workload suddenly quiesces.
+    const GATE_OFF_SPAN_CAP: Cycle = 8192;
+
+    /// Close of a governor window at cycle `now`. After a sampling
+    /// window, the gate stays open only if fast-forward actually avoided
+    /// substantial work — at least a quarter of the window's SM steps
+    /// (quiet-SM cycles plus jump cycles × SM count). The bar is set
+    /// deliberately high: short quiet spells barely pay for the probe
+    /// and horizon computation that discovered them (a stalled SM's
+    /// naive step is itself cheap), so marginal quiescence is not worth
+    /// the machinery — the big wins come from long stalls and
+    /// machine-wide jumps, which clear a quarter easily. A workload
+    /// that never quiesces substantially (e.g. a compute-dense matrix
+    /// multiply under an effective prefetcher) fails the bar, and
+    /// subsequent cycles run purely naive
+    /// — no scans, no probes — for exponentially growing spans, so the
+    /// steady-state overhead decays toward zero. After a penalty span
+    /// the gate reopens for one sampling window with freshly zeroed
+    /// quiescence caches (they went stale while nothing maintained them).
+    fn gate_boundary(&mut self, now: Cycle) {
+        if self.ff_gate_open {
+            let threshold = (self.cfg.num_sms as u64) * Self::GATE_WINDOW / 4;
+            if self.gate_benefit < threshold {
+                self.ff_gate_open = false;
+                self.gate_window_end = now + self.gate_off_span;
+                self.gate_off_span = (self.gate_off_span * 2).min(Self::GATE_OFF_SPAN_CAP);
+            } else {
+                self.gate_off_span = Self::GATE_WINDOW;
+                self.gate_window_end = now + Self::GATE_WINDOW;
+            }
+        } else {
+            self.ff_gate_open = true;
+            self.reset_quiescence_caches();
+            self.gate_window_end = now + Self::GATE_WINDOW;
+        }
+        self.gate_benefit = 0;
+    }
+
+    /// Smallest estimated jump worth the fast-forward machinery, and the
+    /// initial value of the adaptive threshold. Tuned on SCN
+    /// (compute-bound, short quiescent gaps between execution timers),
+    /// where probing every 1–3-cycle gap made fast-forward a net loss.
+    const MIN_PROFITABLE_SKIP_FLOOR: Cycle = 8;
+    /// Upper bound for the adaptive threshold: backing off further would
+    /// forfeit genuinely long jumps.
+    const MIN_PROFITABLE_SKIP_CEIL: Cycle = 256;
+    /// Unprofitable probe outcomes tolerated before the threshold
+    /// doubles.
+    const PROBE_DEBT_LIMIT: u32 = 16;
+
+    /// Adapt the skip threshold after a realized jump of `delta` cycles:
+    /// long jumps pay for their probes (relax the threshold back toward
+    /// the floor); short jumps barely break even (treat like a wasted
+    /// probe). Purely a host-time heuristic — both stepping modes
+    /// account identical statistics.
+    fn tune_after_jump(&mut self, delta: Cycle) {
+        if delta >= 4 * self.min_profitable_skip {
+            self.min_profitable_skip =
+                (self.min_profitable_skip / 2).max(Self::MIN_PROFITABLE_SKIP_FLOOR);
+            self.probe_debt = self.probe_debt.saturating_sub(1);
+        } else if delta < 2 * self.min_profitable_skip {
+            self.bump_probe_debt();
+        }
+    }
+
+    /// Adapt the skip threshold after a probe that found progress (the
+    /// quiescence bound over-promised): enough of these in a row and the
+    /// gate demands longer estimated jumps before probing again.
+    fn tune_after_wasted_probe(&mut self) {
+        self.bump_probe_debt();
+    }
+
+    fn bump_probe_debt(&mut self) {
+        self.probe_debt += 1;
+        if self.probe_debt >= Self::PROBE_DEBT_LIMIT {
+            self.probe_debt = 0;
+            self.min_profitable_skip =
+                (self.min_profitable_skip * 2).min(Self::MIN_PROFITABLE_SKIP_CEIL);
+        }
+    }
 
     /// Whether a [`Self::step`] at `now` would change any state anywhere
     /// in the machine. Ordered cheapest-first; each arm mirrors one step
@@ -343,13 +847,13 @@ impl Gpu {
         // Each network records one stall event per blocked ejection head
         // per cycle; the blocked set cannot change inside the window.
         let b = self.req_net.blocked_heads(now);
-        self.req_net.stall_events += delta * b;
+        self.req_net.add_skipped_stalls(delta * b);
         let b = self.pf_req_net.blocked_heads(now);
-        self.pf_req_net.stall_events += delta * b;
+        self.pf_req_net.add_skipped_stalls(delta * b);
         let b = self.reply_net.blocked_heads(now);
-        self.reply_net.stall_events += delta * b;
+        self.reply_net.add_skipped_stalls(delta * b);
         let b = self.pf_reply_net.blocked_heads(now);
-        self.pf_reply_net.stall_events += delta * b;
+        self.pf_reply_net.add_skipped_stalls(delta * b);
         self.skipped_cycles += delta;
         self.skip_events += 1;
         self.cycle = target;
@@ -362,9 +866,11 @@ impl Gpu {
         for sm in &mut self.sms {
             sm.rebind(&kernel);
         }
-        self.sm_quiet_until.fill(0);
-        self.part_quiet_until.fill(0);
-        self.ch_quiet_until.fill(0);
+        self.reset_quiescence_caches();
+        self.ff_gate_open = true;
+        self.gate_off_span = Self::GATE_WINDOW;
+        self.gate_window_end = self.cycle + Self::GATE_WINDOW;
+        self.gate_benefit = 0;
         self.kernel = kernel;
     }
 
@@ -391,61 +897,83 @@ impl Gpu {
             && self.channels.iter().all(|c| c.pending() == 0)
     }
 
-    /// Advance the whole GPU one core cycle.
+    /// Worker count for this cycle: the configured `sim_threads`,
+    /// clamped to the SM count, with an automatic sequential fallback
+    /// when so few SMs are active that two barrier synchronisations
+    /// would cost more than the parallel phase saves. Both engines are
+    /// bit-identical, so the per-cycle choice cannot perturb results.
+    fn plan_threads(&self, now: Cycle) -> usize {
+        let t = self.sim_threads.min(self.cfg.num_sms);
+        if t < 2 {
+            return 1;
+        }
+        if self.ff_active() {
+            let active = self
+                .sm_quiet_until
+                .iter()
+                .filter(|&&quiet| quiet <= now)
+                .count();
+            if active < 2 {
+                return 1;
+            }
+        }
+        t
+    }
+
+    /// Whether this cycle runs with the fast-forward machinery live:
+    /// requires both the mode flag and an open skip-rate gate.
+    #[inline]
+    fn ff_active(&self) -> bool {
+        self.fast_forward && self.ff_gate_open
+    }
+
+    fn ensure_workers(&mut self, t: usize) {
+        if self.completed_shards.len() < t {
+            self.completed_shards.resize_with(t, Vec::new);
+        }
+        if t > 1 && self.pool.as_ref().map(ShardPool::width) != Some(t) {
+            self.pool = Some(ShardPool::new(t - 1));
+        }
+    }
+
+    /// Advance the whole GPU one core cycle through the four phases.
     pub fn step(&mut self) {
         let now = self.cycle;
-        let mut completed = std::mem::take(&mut self.completed_scratch);
-        completed.clear();
+        let t = self.plan_threads(now);
+        self.ensure_workers(t);
 
-        // 1. Deliver fills to SMs: demand replies first, then the
-        // prefetch virtual channel.
-        self.reply_net.step(now);
-        self.pf_reply_net.step(now);
-        if self.reply_net.has_ejected() || self.pf_reply_net.has_ejected() {
-            for sm in 0..self.cfg.num_sms {
-                for _ in 0..self.cfg.icnt_bandwidth {
-                    match self.reply_net.pop_one(sm) {
-                        Some(reply) => {
-                            self.sms[sm].on_fill(now, reply.line);
-                            self.sm_quiet_until[sm] = 0;
-                        }
-                        None => break,
-                    }
-                }
-                for _ in 0..self.cfg.icnt_bandwidth {
-                    match self.pf_reply_net.pop_one(sm) {
-                        Some(reply) => {
-                            self.sms[sm].on_fill(now, reply.line);
-                            self.sm_quiet_until[sm] = 0;
-                        }
-                        None => break,
-                    }
-                }
+        // Phase 1: SM-local (parallel over SMs).
+        {
+            let ctx = SmPhase {
+                sms: self.sms.as_mut_ptr(),
+                reply: self.reply_net.lanes_mut().as_mut_ptr(),
+                pf_reply: self.pf_reply_net.lanes_mut().as_mut_ptr(),
+                quiet: self.sm_quiet_until.as_mut_ptr(),
+                probe_at: self.sm_probe_at.as_mut_ptr(),
+                probe_streak: self.sm_probe_streak.as_mut_ptr(),
+                completed: self.completed_shards.as_mut_ptr(),
+                kernel: &self.kernel,
+                num_sms: self.cfg.num_sms,
+                threads: t,
+                bw: self.cfg.icnt_bandwidth,
+                depth: self.cfg.icnt_queue_depth,
+                fast_forward: self.ff_active(),
+                now,
+            };
+            if t > 1 {
+                let pool = self.pool.as_ref().expect("pool ensured");
+                // SAFETY: each worker index maps to a disjoint shard.
+                pool.run(&|w| unsafe { ctx.run_shard(w) });
+            } else {
+                // SAFETY: single caller covers every shard.
+                unsafe { ctx.run_shard(0) };
             }
         }
 
-        // 2. SM pipelines. With fast-forward, an SM that provably cannot
-        // progress this cycle is not stepped: its per-cycle counters are
-        // accounted analytically and the verdict is cached until its own
-        // next event (external events reset the cache entry to 0).
-        for i in 0..self.sms.len() {
-            if self.fast_forward {
-                if self.sm_quiet_until[i] > now {
-                    self.sms[i].account_skipped(1);
-                    continue;
-                }
-                if !self.sms[i].can_progress(now, &self.kernel) {
-                    self.sms[i].account_skipped(1);
-                    self.sm_quiet_until[i] =
-                        self.sms[i].next_event(now).unwrap_or(Cycle::MAX);
-                    continue;
-                }
-            }
-            self.sms[i].step(now, &self.kernel, &mut completed);
-        }
-
-        // 3. SM → request networks (bounded per SM per cycle; demands
-        // and stores ride the high-priority channel).
+        // Phase 2: SM → request networks, serially in (sm_id, queue
+        // order) so per-destination packet order matches the sequential
+        // engine exactly (bounded per SM per cycle; demands and stores
+        // ride the high-priority channel).
         for sm in &mut self.sms {
             for _ in 0..self.cfg.icnt_bandwidth {
                 let Some(req) = sm.pop_outbound() else { break };
@@ -458,91 +986,45 @@ impl Gpu {
             }
         }
 
-        // 4. Request networks → partitions (consumer-checked ejection;
-        // demand channel first).
-        self.req_net.step(now);
-        self.pf_req_net.step(now);
-        if self.req_net.has_ejected() || self.pf_req_net.has_ejected() {
-            for p in 0..self.cfg.num_partitions {
-                for _ in 0..self.cfg.icnt_bandwidth {
-                    let Some(req) = self.req_net.peek(p) else {
-                        break;
-                    };
-                    if !self.partitions[p].can_accept(req.kind) {
-                        break;
-                    }
-                    let req = self.req_net.pop_one(p).expect("peeked");
-                    self.partitions[p].accept(now, req);
-                    self.part_quiet_until[p] = 0;
-                }
-                for _ in 0..self.cfg.icnt_bandwidth {
-                    let Some(req) = self.pf_req_net.peek(p) else {
-                        break;
-                    };
-                    if !self.partitions[p].can_accept(req.kind) {
-                        break;
-                    }
-                    let req = self.pf_req_net.pop_one(p).expect("peeked");
-                    self.partitions[p].accept(now, req);
-                    self.part_quiet_until[p] = 0;
-                }
+        // Phase 3: memory-local (parallel over channel groups).
+        {
+            let ctx = MemPhase {
+                partitions: self.partitions.as_mut_ptr(),
+                channels: self.channels.as_mut_ptr(),
+                req: self.req_net.lanes_mut().as_mut_ptr(),
+                pf_req: self.pf_req_net.lanes_mut().as_mut_ptr(),
+                part_quiet: self.part_quiet_until.as_mut_ptr(),
+                part_probe_at: self.part_probe_at.as_mut_ptr(),
+                part_probe_streak: self.part_probe_streak.as_mut_ptr(),
+                ch_quiet: self.ch_quiet_until.as_mut_ptr(),
+                ch_probe_at: self.ch_probe_at.as_mut_ptr(),
+                ch_probe_streak: self.ch_probe_streak.as_mut_ptr(),
+                scratch: self.dram_scratch.as_mut_ptr(),
+                num_partitions: self.cfg.num_partitions,
+                num_channels: self.cfg.num_dram_channels,
+                threads: t.min(self.cfg.num_dram_channels),
+                bw: self.cfg.icnt_bandwidth,
+                depth: self.cfg.icnt_queue_depth,
+                fast_forward: self.ff_active(),
+                now,
+            };
+            if t > 1 {
+                let pool = self.pool.as_ref().expect("pool ensured");
+                // SAFETY: each worker index maps to a disjoint channel
+                // group (idle workers get an empty shard).
+                pool.run(&|w| unsafe { ctx.run_shard(w) });
+            } else {
+                // SAFETY: single caller covers every shard.
+                unsafe { ctx.run_shard(0) };
             }
         }
 
-        // 5. DRAM channels advance; completions dispatch per partition.
-        // A channel whose probe says "nothing matures, no bank ready"
-        // would step as a pure no-op (no state, no stats), so under
-        // fast-forward it is skipped outright until its own next timer —
-        // only a partition pushing a request can unquiesce it earlier,
-        // and that push resets the cache below.
-        self.dram_done_scratch.clear();
-        let mut ch_stepped: u64 = 0;
-        for (i, ch) in self.channels.iter_mut().enumerate() {
-            if self.fast_forward {
-                if self.ch_quiet_until[i] > now {
-                    continue;
-                }
-                if !ch.can_progress(now) {
-                    self.ch_quiet_until[i] = ch.next_event(now).unwrap_or(Cycle::MAX);
-                    continue;
-                }
-            }
-            ch.step(now, &mut self.dram_done_scratch);
-            ch_stepped |= 1 << i;
-        }
-
-        // 6. Partitions service inputs and emit replies. Under
-        // fast-forward a partition provably stalled until
-        // `part_quiet_until[p]` only accounts its per-cycle stall
-        // counter; the cache is reset on every event that can unblock it
-        // (an accepted request in phase 4, a DRAM fill, or any step of
-        // its channel — which can free queue space or MSHRs).
+        // Phase 4: partitions → reply networks, serially in fixed
+        // partition order (the merge that keeps reply-lane packet order
+        // identical to sequential stepping), then demand-driven CTA
+        // refill (Fig. 3): completed CTAs free slots; the distributor
+        // hands out the next CTA ids.
         for p in 0..self.cfg.num_partitions {
-            let ch = self.cfg.channel_of_partition(p);
-            if self.fast_forward {
-                if ch_stepped & (1 << ch) != 0 {
-                    self.part_quiet_until[p] = 0;
-                }
-                let has_fill = !self.dram_done_scratch.is_empty()
-                    && self.dram_done_scratch.iter().any(|r| r.partition == p);
-                if !has_fill {
-                    if self.part_quiet_until[p] > now {
-                        self.partitions[p].account_skipped(1);
-                        continue;
-                    }
-                    if !self.partitions[p].can_progress(now, &self.channels[ch]) {
-                        self.partitions[p].account_skipped(1);
-                        self.part_quiet_until[p] =
-                            self.partitions[p].next_event(now).unwrap_or(Cycle::MAX);
-                        continue;
-                    }
-                }
-            }
-            let pending_before = self.channels[ch].pending();
-            self.partitions[p].step(now, &mut self.channels[ch], &self.dram_done_scratch);
-            if self.channels[ch].pending() != pending_before {
-                self.ch_quiet_until[ch] = 0;
-            }
             for _ in 0..self.cfg.icnt_bandwidth {
                 let Some(reply) = self.partitions[p].reply_out.pop_front() else {
                     break;
@@ -556,13 +1038,12 @@ impl Gpu {
                 self.pf_reply_net.send(now, reply.sm, reply);
             }
         }
-
-        // 7. Demand-driven CTA refill (Fig. 3): completed CTAs free
-        // slots; the distributor hands out the next CTA ids.
-        if !completed.is_empty() {
+        if self.completed_shards.iter().any(|c| !c.is_empty()) {
             self.refill_ctas();
+            for c in &mut self.completed_shards {
+                c.clear();
+            }
         }
-        self.completed_scratch = completed;
 
         self.cycle += 1;
     }
@@ -583,6 +1064,9 @@ impl Gpu {
     }
 
     /// Aggregate statistics across SMs, partitions, channels, networks.
+    /// Per-shard counters (SM stats, partition stats, channel counters,
+    /// per-lane network stalls) merge here in fixed component order —
+    /// the only cross-shard statistics flow in the engine.
     pub fn collect_stats(&mut self) -> Stats {
         let mut total = Stats::default();
         for sm in &mut self.sms {
@@ -608,10 +1092,10 @@ impl Gpu {
             .map(|p| p.stats.accesses)
             .sum::<u64>()
             .min(total.icnt_requests);
-        total.icnt_stalls = self.req_net.stall_events
-            + self.pf_req_net.stall_events
-            + self.reply_net.stall_events
-            + self.pf_reply_net.stall_events;
+        total.icnt_stalls = self.req_net.stall_events()
+            + self.pf_req_net.stall_events()
+            + self.reply_net.stall_events()
+            + self.pf_reply_net.stall_events();
         total
     }
 
@@ -624,6 +1108,34 @@ impl Gpu {
     pub fn kernel(&self) -> &Kernel {
         &self.kernel
     }
+}
+
+/// Worker count from the environment: `GPU_SIM_SEQ=1` forces the
+/// sequential engine; otherwise `GPU_SIM_THREADS=N` selects the
+/// parallel engine with `N` workers (default 1).
+fn threads_from_env() -> usize {
+    if std::env::var_os("GPU_SIM_SEQ").is_some_and(|v| v != "0") {
+        return 1;
+    }
+    std::env::var("GPU_SIM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
+}
+
+/// Compile-time guarantee that everything the phase contexts hand to
+/// pool workers is safe to move across threads.
+#[allow(dead_code)]
+fn assert_shard_state_is_send() {
+    fn ok<T: Send>() {}
+    ok::<Sm>();
+    ok::<MemoryPartition>();
+    ok::<DramChannel>();
+    ok::<Lane<MemRequest>>();
+    ok::<Lane<MemReply>>();
+    ok::<Vec<CtaCoord>>();
+    ok::<Vec<DramRequest>>();
 }
 
 #[cfg(test)]
@@ -807,5 +1319,57 @@ mod tests {
             "warm launch ({second}) should be faster than cold ({})",
             one.cycles
         );
+    }
+
+    #[test]
+    fn parallel_engine_is_bit_identical_across_thread_counts() {
+        // The real grid lives in the metrics differential suite; this is
+        // the gpu-level smoke for both fast-forward settings.
+        for ff in [true, false] {
+            let mut reference: Option<Stats> = None;
+            for threads in [1usize, 2, 4] {
+                let cfg = GpuConfig::test_small();
+                let mut gpu = Gpu::new(cfg, stride_kernel(64, 4), &*null_factory());
+                gpu.set_fast_forward(ff);
+                gpu.set_sim_threads(threads);
+                let stats = gpu.run(1_000_000);
+                match &reference {
+                    None => reference = Some(stats),
+                    Some(want) => {
+                        assert_eq!(&stats, want, "threads={threads} ff={ff} diverged")
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_engine_matches_under_cycle_caps_and_relaunches() {
+        for cap in [137, 5_000] {
+            let cfg = GpuConfig::test_small();
+            let mut seq = Gpu::new(cfg.clone(), stride_kernel(32, 4), &*null_factory());
+            seq.set_sim_threads(1);
+            let mut par = Gpu::new(cfg, stride_kernel(32, 4), &*null_factory());
+            par.set_sim_threads(3);
+            assert_eq!(
+                seq.run_launches(2, cap),
+                par.run_launches(2, cap),
+                "cap {cap}"
+            );
+        }
+    }
+
+    #[test]
+    fn sim_threads_can_change_between_runs() {
+        let cfg = GpuConfig::test_small();
+        let mut gpu = Gpu::new(cfg.clone(), stride_kernel(16, 4), &*null_factory());
+        gpu.set_sim_threads(2);
+        let a = gpu.run(1_000_000);
+        let mut gpu2 = Gpu::new(cfg, stride_kernel(16, 4), &*null_factory());
+        gpu2.set_sim_threads(4);
+        gpu2.set_sim_threads(1);
+        assert_eq!(gpu2.sim_threads(), 1);
+        let b = gpu2.run(1_000_000);
+        assert_eq!(a, b);
     }
 }

@@ -5,6 +5,14 @@
 //! bandwidth cap on ejection. Under bursty miss traffic the ejection
 //! queues back up and effective latency grows super-linearly — the
 //! congestion effect §I measures (62% stall cycles for nearest-neighbour).
+//!
+//! Internally a network is a vector of per-destination [`Lane`]s with no
+//! shared mutable state between lanes (each lane carries its own pipe,
+//! ejection queue, stall counter and wake bound). That layout is what the
+//! phase-split parallel cycle engine in [`crate::gpu`] shards on: a
+//! worker that owns destination `d` may mutate lane `d` while other
+//! workers mutate theirs, with no atomics and no locks, and the summed
+//! statistics are identical to sequential stepping by construction.
 
 use std::collections::VecDeque;
 
@@ -33,158 +41,243 @@ pub struct MemReply {
     pub is_prefetch: bool,
 }
 
+/// One crossbar output: the in-flight pipe and bounded ejection queue of
+/// a single destination. Lanes are fully independent — the parallel
+/// engine hands each memory-side shard exclusive `&mut` access to its
+/// own lanes.
+#[derive(Debug)]
+pub struct Lane<T> {
+    /// In-flight messages (arrival cycle, payload); arrival cycles are
+    /// monotone because senders inject with a constant latency.
+    pipe: VecDeque<(Cycle, T)>,
+    /// Arrived but not yet ejected (bounded by the network's depth).
+    eject: VecDeque<T>,
+    /// Cumulative cycles this lane's pipe head waited for a full
+    /// ejection queue (congestion diagnostic, summed per network).
+    pub stall_events: u64,
+    /// This lane's [`Lane::step`] is a provable no-op before this cycle.
+    /// Exact: recomputed from the surviving head after every scan and
+    /// lowered by every send; a blocked head (arrived, ejection queue
+    /// full) keeps the bound at or below `now`, forcing rescans while
+    /// its stall events accrue.
+    wake_at: Cycle,
+}
+
+impl<T> Lane<T> {
+    fn new(eject_depth: usize) -> Self {
+        Lane {
+            pipe: VecDeque::new(),
+            eject: VecDeque::with_capacity(eject_depth),
+            stall_events: 0,
+            wake_at: 0,
+        }
+    }
+
+    /// Move this lane's arrived messages into its ejection queue
+    /// (respecting `depth`). Call once per cycle before popping.
+    pub fn step(&mut self, now: Cycle, depth: usize) {
+        if now < self.wake_at {
+            return;
+        }
+        while let Some(&(t, _)) = self.pipe.front() {
+            if t > now {
+                break;
+            }
+            if self.eject.len() >= depth {
+                // The hot output's queue is full: its own pipe backs
+                // up, other outputs are unaffected.
+                self.stall_events += 1;
+                break;
+            }
+            let (_, msg) = self.pipe.pop_front().expect("checked non-empty");
+            self.eject.push_back(msg);
+        }
+        self.wake_at = match self.pipe.front() {
+            Some(&(t, _)) => t,
+            None => Cycle::MAX,
+        };
+    }
+
+    /// Whether this lane has a deliverable message.
+    #[inline]
+    pub fn has_pending(&self) -> bool {
+        !self.eject.is_empty()
+    }
+
+    /// Peek at the next deliverable message without consuming it.
+    #[inline]
+    pub fn peek(&self) -> Option<&T> {
+        self.eject.front()
+    }
+
+    /// Take a single deliverable message, if any.
+    #[inline]
+    pub fn pop_one(&mut self) -> Option<T> {
+        self.eject.pop_front()
+    }
+
+    /// Whether a [`Lane::step`] at `now` would move at least one message
+    /// into the ejection queue.
+    #[inline]
+    pub fn can_deliver(&self, now: Cycle, depth: usize) -> bool {
+        self.pipe
+            .front()
+            .is_some_and(|&(t, _)| t <= now && self.eject.len() < depth)
+    }
+
+    /// Whether the pipe head has arrived but is blocked on a full
+    /// ejection queue.
+    #[inline]
+    pub fn blocked_head(&self, now: Cycle, depth: usize) -> bool {
+        self.pipe
+            .front()
+            .is_some_and(|&(t, _)| t <= now && self.eject.len() >= depth)
+    }
+
+    /// Earliest strictly-future pipe arrival on this lane.
+    #[inline]
+    pub fn earliest_arrival(&self, now: Cycle) -> Option<Cycle> {
+        self.pipe.front().map(|&(t, _)| t).filter(|&t| t > now)
+    }
+
+    /// Messages anywhere in this lane (pipe + ejection queue).
+    #[inline]
+    pub fn in_flight(&self) -> usize {
+        self.pipe.len() + self.eject.len()
+    }
+
+    fn send(&mut self, at: Cycle, msg: T) {
+        debug_assert!(self.pipe.back().is_none_or(|&(t, _)| t <= at));
+        self.pipe.push_back((at, msg));
+        if at < self.wake_at {
+            self.wake_at = at;
+        }
+    }
+}
+
 /// One-direction crossbar network: per-destination pipes of constant
 /// latency feeding bounded per-destination ejection queues. Distinct
 /// destinations do not block each other (separate crossbar outputs); a
 /// hot destination backs up only its own pipe.
 #[derive(Debug)]
 pub struct Network<T> {
-    /// Per-destination in-flight messages (arrival cycle, payload);
-    /// monotone arrival cycles per destination.
-    pipes: Vec<VecDeque<(Cycle, T)>>,
-    /// Arrived but not yet ejected (per destination, bounded).
-    eject: Vec<VecDeque<T>>,
+    lanes: Vec<Lane<T>>,
     latency: u32,
     eject_depth: usize,
     eject_bw: u32,
-    /// Total messages across all ejection queues (kept incrementally so
-    /// per-cycle emptiness checks are O(1)).
-    ejected: usize,
-    /// Cumulative count of cycles a pipe head waited for a full ejection
-    /// queue (congestion diagnostic).
-    pub stall_events: u64,
-    /// No pipe head can act before this cycle, so [`Self::step`] is a
-    /// provable no-op until then and early-outs without touching the
-    /// per-destination queues. Exact: recomputed from the surviving
-    /// heads after every scan and lowered by every [`Self::send`]; a
-    /// blocked head (arrived, ejection queue full) keeps the bound at or
-    /// below `now`, forcing rescans while its stall events accrue.
-    wake_at: Cycle,
+    /// Stall events accounted in bulk by the fast-forward clock skip
+    /// (not attributable to a single lane; added to the summed total).
+    skipped_stall_events: u64,
 }
 
 impl<T> Network<T> {
     /// Network with `destinations` endpoints.
     pub fn new(destinations: usize, latency: u32, eject_depth: usize, eject_bw: u32) -> Self {
         Network {
-            pipes: (0..destinations).map(|_| VecDeque::new()).collect(),
-            eject: (0..destinations)
-                .map(|_| VecDeque::with_capacity(eject_depth))
-                .collect(),
+            lanes: (0..destinations).map(|_| Lane::new(eject_depth)).collect(),
             latency,
             eject_depth,
             eject_bw,
-            ejected: 0,
-            stall_events: 0,
-            wake_at: 0,
+            skipped_stall_events: 0,
         }
+    }
+
+    /// Per-destination ejection-queue depth.
+    #[inline]
+    pub fn eject_depth(&self) -> usize {
+        self.eject_depth
     }
 
     /// Inject a message at `now`; it becomes visible at the destination
     /// after the pipe latency (plus any ejection queueing).
     pub fn send(&mut self, now: Cycle, dst: usize, msg: T) {
-        debug_assert!(dst < self.eject.len());
+        debug_assert!(dst < self.lanes.len());
         let at = now + self.latency as Cycle;
-        debug_assert!(self.pipes[dst].back().is_none_or(|&(t, _)| t <= at));
-        self.pipes[dst].push_back((at, msg));
-        if at < self.wake_at {
-            self.wake_at = at;
-        }
+        self.lanes[dst].send(at, msg);
     }
 
     /// Move arrived messages into ejection queues (respecting depth).
     /// Call once per cycle before [`Self::pop`].
     pub fn step(&mut self, now: Cycle) {
-        if now < self.wake_at {
-            return;
+        let depth = self.eject_depth;
+        for lane in &mut self.lanes {
+            lane.step(now, depth);
         }
-        let mut wake = Cycle::MAX;
-        for dst in 0..self.pipes.len() {
-            while let Some(&(t, _)) = self.pipes[dst].front() {
-                if t > now {
-                    break;
-                }
-                if self.eject[dst].len() >= self.eject_depth {
-                    // The hot output's queue is full: its own pipe backs
-                    // up, other outputs are unaffected.
-                    self.stall_events += 1;
-                    break;
-                }
-                let (_, msg) = self.pipes[dst].pop_front().expect("checked non-empty");
-                self.eject[dst].push_back(msg);
-                self.ejected += 1;
-            }
-            if let Some(&(t, _)) = self.pipes[dst].front() {
-                wake = wake.min(t);
-            }
-        }
-        self.wake_at = wake;
+    }
+
+    /// Exclusive access to every lane, for sharding: the parallel engine
+    /// splits this slice so each worker steps and drains only the lanes
+    /// of the destinations it owns.
+    #[inline]
+    pub fn lanes_mut(&mut self) -> &mut [Lane<T>] {
+        &mut self.lanes
     }
 
     /// Take up to the per-cycle ejection bandwidth of messages for `dst`.
     /// Callers invoke this once per destination per cycle.
     pub fn pop(&mut self, dst: usize) -> EjectIter<'_, T> {
         EjectIter {
-            q: &mut self.eject[dst],
-            counter: &mut self.ejected,
+            lane: &mut self.lanes[dst],
             left: self.eject_bw,
         }
     }
 
     /// Peek whether `dst` has a deliverable message.
     pub fn has_pending(&self, dst: usize) -> bool {
-        !self.eject[dst].is_empty()
+        self.lanes[dst].has_pending()
     }
 
     /// Peek at the next deliverable message for `dst` without consuming.
     pub fn peek(&self, dst: usize) -> Option<&T> {
-        self.eject[dst].front()
+        self.lanes[dst].peek()
     }
 
     /// Take a single message for `dst` if one is deliverable. Callers
     /// that must check a consumer-side condition (e.g. partition input
     /// space) before consuming use this with their own bandwidth count.
     pub fn pop_one(&mut self, dst: usize) -> Option<T> {
-        let msg = self.eject[dst].pop_front();
-        if msg.is_some() {
-            self.ejected -= 1;
-        }
-        msg
+        self.lanes[dst].pop_one()
     }
 
     /// Total messages anywhere in the network.
     pub fn in_flight(&self) -> usize {
-        self.pipes.iter().map(VecDeque::len).sum::<usize>() + self.ejected
+        self.lanes.iter().map(Lane::in_flight).sum()
     }
 
-    /// O(1): any message sitting in an ejection queue.
+    /// Any message sitting in an ejection queue.
     #[inline]
     pub fn has_ejected(&self) -> bool {
-        self.ejected > 0
+        self.lanes.iter().any(Lane::has_pending)
     }
 
     /// Whether a [`Self::step`] at `now` would move at least one message
     /// from a pipe into an ejection queue (an arrival — forward progress
     /// for the fast-forward probe).
     pub fn can_deliver(&self, now: Cycle) -> bool {
-        self.pipes.iter().zip(&self.eject).any(|(pipe, ej)| {
-            pipe.front()
-                .is_some_and(|&(t, _)| t <= now && ej.len() < self.eject_depth)
-        })
+        self.lanes
+            .iter()
+            .any(|lane| lane.can_deliver(now, self.eject_depth))
     }
 
     /// Number of destinations whose pipe head has arrived but is blocked
-    /// on a full ejection queue. [`Self::step`] records exactly one
+    /// on a full ejection queue. [`Lane::step`] records exactly one
     /// stall event per such destination per cycle, so a skipped window of
     /// `delta` cycles accounts `delta * blocked_heads` stall events.
     pub fn blocked_heads(&self, now: Cycle) -> u64 {
-        self.pipes
+        self.lanes
             .iter()
-            .zip(&self.eject)
-            .filter(|(pipe, ej)| {
-                pipe.front()
-                    .is_some_and(|&(t, _)| t <= now && ej.len() >= self.eject_depth)
-            })
+            .filter(|lane| lane.blocked_head(now, self.eject_depth))
             .count() as u64
+    }
+
+    /// Account stall events for a skipped quiescent window in bulk.
+    pub fn add_skipped_stalls(&mut self, events: u64) {
+        self.skipped_stall_events += events;
+    }
+
+    /// Total stall events: per-lane counts plus bulk skip accounting.
+    pub fn stall_events(&self) -> u64 {
+        self.skipped_stall_events + self.lanes.iter().map(|l| l.stall_events).sum::<u64>()
     }
 
     /// Earliest future pipe arrival, strictly after `now`. Heads already
@@ -192,18 +285,16 @@ impl<T> Network<T> {
     /// progress (no skip happens), blocked ones cannot move until their
     /// consumer drains — a different progress event.
     pub fn earliest_arrival(&self, now: Cycle) -> Option<Cycle> {
-        self.pipes
+        self.lanes
             .iter()
-            .filter_map(|pipe| pipe.front().map(|&(t, _)| t))
-            .filter(|&t| t > now)
+            .filter_map(|lane| lane.earliest_arrival(now))
             .min()
     }
 }
 
 /// Draining iterator bounded by ejection bandwidth.
 pub struct EjectIter<'a, T> {
-    q: &'a mut VecDeque<T>,
-    counter: &'a mut usize,
+    lane: &'a mut Lane<T>,
     left: u32,
 }
 
@@ -215,11 +306,7 @@ impl<T> Iterator for EjectIter<'_, T> {
             return None;
         }
         self.left -= 1;
-        let msg = self.q.pop_front();
-        if msg.is_some() {
-            *self.counter -= 1;
-        }
-        msg
+        self.lane.pop_one()
     }
 }
 
@@ -263,7 +350,7 @@ mod tests {
         // Crossbar outputs are independent: dst 1 is deliverable even
         // though dst 0's queue is full and its pipe backed up.
         assert!(n.has_pending(1));
-        assert!(n.stall_events > 0);
+        assert!(n.stall_events() > 0);
         assert_eq!(n.in_flight(), 4);
         // Drain dst 0 (bandwidth 1 ⇒ one message per pop), then its
         // blocked message advances into the freed slot.
@@ -339,5 +426,30 @@ mod tests {
         assert_eq!(n.in_flight(), 2); // now in eject queue
         let _ = n.pop(0).next();
         assert_eq!(n.in_flight(), 1);
+    }
+
+    #[test]
+    fn lane_sharding_view_matches_whole_network_stepping() {
+        // Stepping lanes individually through `lanes_mut` (as the
+        // parallel engine does) must behave exactly like `Network::step`.
+        let mut whole: Network<u32> = Network::new(3, 2, 2, 1);
+        let mut sharded: Network<u32> = Network::new(3, 2, 2, 1);
+        for i in 0..9u32 {
+            whole.send(0, (i % 3) as usize, i);
+            sharded.send(0, (i % 3) as usize, i);
+        }
+        for now in 0..8 {
+            whole.step(now);
+            let depth = sharded.eject_depth();
+            for lane in sharded.lanes_mut() {
+                lane.step(now, depth);
+            }
+            for d in 0..3 {
+                assert_eq!(whole.peek(d), sharded.peek(d), "dst {d} at {now}");
+                assert_eq!(whole.pop_one(d), sharded.lanes_mut()[d].pop_one());
+            }
+        }
+        assert_eq!(whole.stall_events(), sharded.stall_events());
+        assert_eq!(whole.in_flight(), sharded.in_flight());
     }
 }

@@ -54,6 +54,7 @@ pub mod kernel;
 pub mod linemap;
 pub mod mshr;
 pub mod partition;
+pub mod pool;
 pub mod prefetch;
 pub mod sched;
 pub mod sm;

@@ -298,6 +298,104 @@ mod tests {
     }
 
     #[test]
+    fn backward_shift_delete_across_the_wraparound_boundary() {
+        // An 8-slot table; find three distinct keys homed at the LAST
+        // slot so their probe chain wraps: slot 7, then 0, then 1. The
+        // masked-distance arithmetic in `remove` (`dist >= gap` with
+        // wrapping subtraction) is only exercised when hole and candidate
+        // sit on opposite sides of the wrap.
+        let mut m = LineMap::with_capacity(3);
+        assert_eq!(m.mask, 7);
+        let mut keys = Vec::new();
+        let mut k = 1u64;
+        while keys.len() < 3 {
+            if m.home(k) == 7 {
+                keys.push(k);
+            }
+            k += 1;
+        }
+        for &k in &keys {
+            m.insert(k, k);
+        }
+        assert!(m.occupied(7) && m.occupied(0) && m.occupied(1), "chain must wrap");
+
+        // Delete the chain head at slot 7: both wrapped entries must
+        // slide back across the boundary, staying reachable and leaving
+        // no hole inside the chain.
+        assert_eq!(m.remove(keys[0]), Some(keys[0]));
+        assert_eq!(m.get(keys[1]), Some(&keys[1]));
+        assert_eq!(m.get(keys[2]), Some(&keys[2]));
+        assert!(m.occupied(7) && m.occupied(0) && !m.occupied(1));
+
+        // Delete the (now wrapped-back) middle entry too: the tail must
+        // wrap back once more.
+        assert_eq!(m.remove(keys[1]), Some(keys[1]));
+        assert_eq!(m.get(keys[2]), Some(&keys[2]));
+        assert!(m.occupied(7) && !m.occupied(0));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn backward_shift_never_moves_an_entry_before_its_home() {
+        // Mixed-home chain across the boundary: an entry homed at slot 0
+        // must NOT be shifted into slot 7 when a hole opens there — that
+        // would put it before its home and make it unreachable.
+        let mut m = LineMap::with_capacity(3);
+        assert_eq!(m.mask, 7);
+        let (mut at7, mut at0) = (None, None);
+        let mut k = 1u64;
+        while at7.is_none() || at0.is_none() {
+            match m.home(k) {
+                7 if at7.is_none() => at7 = Some(k),
+                0 if at0.is_none() => at0 = Some(k),
+                _ => {}
+            }
+            k += 1;
+        }
+        let (k7, k0) = (at7.unwrap(), at0.unwrap());
+        m.insert(k7, k7); // slot 7
+        m.insert(k0, k0); // its home, slot 0
+        m.remove(k7);
+        // Slot 7 must stay empty; k0 must still be found at its home.
+        assert!(!m.occupied(7), "entry homed at 0 must not wrap backwards");
+        assert!(m.occupied(0));
+        assert_eq!(m.get(k0), Some(&k0));
+    }
+
+    #[test]
+    fn generation_clear_survives_u32_wraparound() {
+        let mut m = LineMap::with_capacity(4);
+        // Fast-forward the generation counter to the wrap boundary, as
+        // if 2^32 - 2 clears had happened.
+        m.gen = u32::MAX;
+        m.insert(42, 1u64);
+        m.insert(43, 2u64);
+        assert!(m.contains(42));
+
+        // This clear wraps the counter: the table must take the full-
+        // wipe path, because leaving stale stamps behind would let a
+        // slot stamped in an ancient generation alias a future one.
+        m.clear();
+        assert_eq!(m.gen, 1, "wrap resets the generation");
+        assert!(m.is_empty());
+        assert!(!m.contains(42) && !m.contains(43));
+        assert!(m.gens.iter().all(|&g| g == 0), "all stamps wiped");
+        assert!(
+            m.vals.iter().all(Option::is_none),
+            "wrap clear drops stale values eagerly"
+        );
+
+        // The table stays fully functional on the other side of the wrap.
+        m.insert(42, 10);
+        assert_eq!(m.get(42), Some(&10));
+        m.clear();
+        assert_eq!(m.gen, 2);
+        assert!(!m.contains(42));
+        m.insert(7, 70);
+        assert_eq!(m.remove(7), Some(70));
+    }
+
+    #[test]
     fn iter_yields_every_live_entry() {
         let mut m = LineMap::with_capacity(16);
         for k in 0..10u64 {

@@ -1,10 +1,13 @@
 //! Parallel experiment harness.
 //!
-//! One simulation is strictly single-threaded (cycle accuracy), but the
-//! evaluation matrix — engines × benchmarks × configuration sweeps — is
-//! embarrassingly parallel. The harness fans runs out over std scoped
-//! threads with a work-stealing index, keeping results
-//! order-stable and every run deterministic.
+//! Parallelism exists at two levels. The evaluation matrix — engines ×
+//! benchmarks × configuration sweeps — is embarrassingly parallel, and
+//! the harness fans runs out over std scoped threads with a
+//! work-stealing index, keeping results order-stable and every run
+//! deterministic. A single simulation can additionally use the
+//! phase-split parallel cycle engine (`RunOpts::sim_threads`, or the
+//! `GPU_SIM_THREADS` environment variable), which is bit-identical to
+//! sequential stepping for every thread count.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -72,9 +75,24 @@ impl RunRecord {
     }
 }
 
+/// Per-run overrides for [`run_one_with_opts`]; `None`/default leaves
+/// the environment-derived behavior untouched. Every field is
+/// host-execution-only: no combination changes a run's statistics.
+#[derive(Debug, Clone, Default)]
+pub struct RunOpts {
+    /// Event-horizon fast-forward on/off (overrides `GPU_SIM_NO_SKIP`).
+    pub fast_forward: Option<bool>,
+    /// Intra-simulation worker count for the phase-split engine
+    /// (overrides `GPU_SIM_THREADS`; 1 = sequential).
+    pub sim_threads: Option<usize>,
+    /// Cycle ceiling override (default [`caps_gpu_sim::gpu::DEFAULT_MAX_CYCLES`]);
+    /// the differential suite uses it to bound full-scale runs.
+    pub max_cycles: Option<u64>,
+}
+
 /// Execute one spec (blocking).
 pub fn run_one(spec: &RunSpec) -> RunRecord {
-    run_one_inner(spec, None)
+    run_one_with_opts(spec, &RunOpts::default())
 }
 
 /// Execute one spec with event-horizon fast-forward explicitly on or
@@ -82,22 +100,35 @@ pub fn run_one(spec: &RunSpec) -> RunRecord {
 /// settings produce bit-identical records; differential tests and the
 /// throughput benchmark compare the two.
 pub fn run_one_with_fast_forward(spec: &RunSpec, fast_forward: bool) -> RunRecord {
-    run_one_inner(spec, Some(fast_forward))
+    run_one_with_opts(
+        spec,
+        &RunOpts {
+            fast_forward: Some(fast_forward),
+            ..RunOpts::default()
+        },
+    )
 }
 
-fn run_one_inner(spec: &RunSpec, fast_forward: Option<bool>) -> RunRecord {
+/// Execute one spec with explicit engine overrides ([`RunOpts`]).
+pub fn run_one_with_opts(spec: &RunSpec, opts: &RunOpts) -> RunRecord {
     let kernel = spec.workload.kernel(spec.scale);
     let cfg = spec.engine.configure(&spec.base_config);
     let factory = spec.engine.factory();
     let mut gpu = Gpu::new(cfg, kernel, &*factory);
-    if let Some(on) = fast_forward {
+    if let Some(on) = opts.fast_forward {
         gpu.set_fast_forward(on);
+    }
+    if let Some(n) = opts.sim_threads {
+        gpu.set_sim_threads(n);
     }
     let launches = match spec.scale {
         Scale::Full => spec.workload.launches(),
         Scale::Small => 1,
     };
-    let stats = gpu.run_launches(launches, caps_gpu_sim::gpu::DEFAULT_MAX_CYCLES);
+    let max_cycles = opts
+        .max_cycles
+        .unwrap_or(caps_gpu_sim::gpu::DEFAULT_MAX_CYCLES);
+    let stats = gpu.run_launches(launches, max_cycles);
     let energy = EnergyModel::default().evaluate(&stats, spec.engine.uses_cap_tables());
     RunRecord {
         workload: spec.workload.abbr().to_string(),

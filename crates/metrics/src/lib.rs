@@ -24,8 +24,8 @@ pub use energy::{EnergyBreakdown, EnergyModel};
 pub use engine::Engine;
 pub use export::{from_json, load, save, to_json};
 pub use harness::{
-    run_matrix, run_matrix_with_threads, run_one, run_one_with_fast_forward, set_default_threads,
-    RunRecord, RunSpec,
+    run_matrix, run_matrix_with_threads, run_one, run_one_with_fast_forward, run_one_with_opts,
+    set_default_threads, RunOpts, RunRecord, RunSpec,
 };
 pub use report::{f3, geomean, mean, pct, Table};
 pub use sweep::{standard_axes, sweep, SweepPoint, SweepResult};

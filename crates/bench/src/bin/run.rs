@@ -184,6 +184,10 @@ fn bench_throughput(args: &[String]) {
                 ),
                 ("fast_cycles_per_sec", Value::Float(cycles as f64 / fast_s)),
                 ("speedup", Value::Float(speedup)),
+                // Growth-valve activations across the whole memory path:
+                // 0 = the preallocated ring sizing held and the run was
+                // allocation-free in steady state.
+                ("ring_grows", Value::UInt(fast_rec.links.total().grows)),
             ]));
             // Phase-split parallel engine at each requested worker
             // count, compared against the single-thread fast engine.
@@ -215,6 +219,7 @@ fn bench_throughput(args: &[String]) {
                     ("par_host_seconds", Value::Float(par_s)),
                     ("par_cycles_per_sec", Value::Float(cycles as f64 / par_s)),
                     ("speedup_vs_fast1", Value::Float(fast_s / par_s)),
+                    ("ring_grows", Value::UInt(par_rec.links.total().grows)),
                 ]));
             }
         }

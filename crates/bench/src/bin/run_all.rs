@@ -121,11 +121,16 @@ fn main() {
 
     // Engine-determinism smoke: every workload once per stepping engine.
     // The three engines must agree on every stats field; timing columns
-    // double as a coarse per-workload throughput report.
+    // double as a coarse per-workload throughput report. The three
+    // trailing columns summarise the parallel run's port-layer report:
+    // the deepest ring high-water mark, total credit-stall events, and
+    // growth-valve activations (0 = the preallocated sizing held and the
+    // memory path ran allocation-free).
     const PAR_THREADS: usize = 4;
     println!("\nStepping-engine determinism (CAPS; naive vs fast vs parallel x{PAR_THREADS}):");
     let mut table = Table::new(&[
-        "bench", "cycles", "naive s", "fast s", "par s", "fast x", "par x",
+        "bench", "cycles", "naive s", "fast s", "par s", "fast x", "par x", "q hw", "cr stall",
+        "grows",
     ]);
     let mut drift = Vec::new();
     for w in caps_bench::workloads() {
@@ -153,6 +158,7 @@ fn main() {
                 naive.workload
             ));
         }
+        let ports = par.links.total();
         table.row(vec![
             naive.workload.clone(),
             format!("{}", naive.stats.cycles),
@@ -161,6 +167,9 @@ fn main() {
             format!("{par_s:.3}"),
             format!("{:.2}", naive_s / fast_s),
             format!("{:.2}", naive_s / par_s),
+            format!("{}", ports.high_water),
+            format!("{}", ports.credit_stalls),
+            format!("{}", ports.grows),
         ]);
     }
     println!("{}", table.render());

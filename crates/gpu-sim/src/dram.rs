@@ -12,6 +12,7 @@
 //! spatial order of the request stream, and therefore to prefetching.
 
 use crate::config::{DramTiming, GpuConfig};
+use crate::port::{Port, PortSnapshot, Ring};
 use crate::types::{Addr, Cycle};
 
 /// Effective row-buffer size per channel in bytes. A 32-bit GDDR5
@@ -69,13 +70,16 @@ impl CoreTiming {
 /// and a shared data bus.
 #[derive(Debug)]
 pub struct DramChannel {
-    queue: Vec<DramRequest>,
+    /// FR-FCFS scheduler queue (bounded by `dram_queue_entries` credits;
+    /// producers check [`Self::can_accept`] before pushing). Removal is
+    /// order-preserving: the FCFS tie-break falls back to queue position
+    /// for equal arrival stamps.
+    queue: Port<DramRequest>,
     /// Bank index of each queued request, parallel to `queue`. Computed
     /// once at [`Self::push`] so the per-cycle FR-FCFS scan and the
     /// wake-time recompute never redo the row/bank arithmetic (the bank
     /// count is a runtime value, so `bank_of` costs a hardware divide).
-    queue_bank: Vec<u8>,
-    queue_capacity: usize,
+    queue_bank: Ring<u8>,
     banks: Vec<Bank>,
     bus_free_at: Cycle,
     in_flight: Vec<(Cycle, DramRequest)>,
@@ -100,9 +104,8 @@ impl DramChannel {
     /// Build a channel per `cfg`.
     pub fn new(cfg: &GpuConfig) -> Self {
         DramChannel {
-            queue: Vec::with_capacity(cfg.dram_queue_entries),
-            queue_bank: Vec::with_capacity(cfg.dram_queue_entries),
-            queue_capacity: cfg.dram_queue_entries,
+            queue: Port::new(cfg.dram_queue_entries),
+            queue_bank: Ring::with_capacity(cfg.dram_queue_entries),
             banks: vec![
                 Bank {
                     open_row: None,
@@ -111,7 +114,7 @@ impl DramChannel {
                 cfg.dram_banks
             ],
             bus_free_at: 0,
-            in_flight: Vec::new(),
+            in_flight: Vec::with_capacity(cfg.dram_queue_entries * 2),
             timing: CoreTiming::from(cfg, &cfg.dram_timing),
             wake_at: 0,
             row_hits: 0,
@@ -121,10 +124,11 @@ impl DramChannel {
         }
     }
 
-    /// Whether the scheduler queue can take another request.
+    /// Whether the scheduler queue can take another request (a credit is
+    /// free on the queue port).
     #[inline]
     pub fn can_accept(&self) -> bool {
-        self.queue.len() < self.queue_capacity
+        self.queue.credits() > 0
     }
 
     /// Requests waiting or in service.
@@ -141,8 +145,14 @@ impl DramChannel {
         if ready < self.wake_at {
             self.wake_at = ready;
         }
-        self.queue_bank.push(bank as u8);
+        self.queue_bank.push_back(bank as u8);
         self.queue.push(req);
+    }
+
+    /// Occupancy/stall counters for the scheduler queue. Host-side
+    /// reporting only — not part of the bit-identity contract.
+    pub fn port_snapshot(&self) -> PortSnapshot {
+        self.queue.snapshot()
     }
 
     #[inline]
@@ -228,8 +238,8 @@ impl DramChannel {
         // then demand over prefetch, then older arrivals. One command
         // issued per cycle.
         let mut best: Option<(bool, bool, Cycle, usize)> = None; // (hit, demand, arrival, idx)
-        for (idx, req) in self.queue.iter().enumerate() {
-            let bank = self.queue_bank[idx] as usize;
+        for (idx, (req, &bank)) in self.queue.iter().zip(self.queue_bank.iter()).enumerate() {
+            let bank = bank as usize;
             if self.banks[bank].ready_at > now {
                 continue;
             }
@@ -250,6 +260,7 @@ impl DramChannel {
         let Some((row_hit, _, _, idx)) = best else {
             return;
         };
+        // Order-preserving removal: FCFS tie-breaks fall to queue order.
         let req = self.queue.remove(idx);
         let bank_idx = self.queue_bank.remove(idx) as usize;
         let row = Self::row_of(req.line);

@@ -3,45 +3,53 @@
 //!
 //! # The phase-split cycle engine
 //!
-//! A core cycle is executed as four explicit phases with deterministic
-//! barriers between them (see DESIGN.md §9c):
+//! A core cycle is executed as two parallel phases separated by a single
+//! barrier, plus a short serial tail (see DESIGN.md §9c/§9d):
 //!
-//! 1. **SM-local phase** — per SM: drain that SM's reply lanes, deliver
-//!    fills, and advance the pipeline (fetch/issue/execute/L1/prefetch).
-//!    SMs interact only through the interconnect, so this phase is data
-//!    parallel over SMs.
-//! 2. **Injection phase** — drain each SM's outbound queue into the
-//!    request networks in fixed `(sm_id, queue order)`, serially, so
-//!    per-destination packet order is identical to sequential stepping.
-//! 3. **Memory-local phase** — per DRAM channel: eject requests into the
-//!    channel's partitions, advance the channel, advance its partitions
-//!    (L2/MSHR/FR-FCFS). Partitions sharing a channel form one shard, so
-//!    this phase is data parallel over channels.
-//! 4. **Reply-merge phase** — drain partition reply queues into the
-//!    reply networks in fixed partition order, serially, then refill
-//!    CTA slots.
+//! 1. **SM-local phase** — per SM: drain that SM's reply links, deliver
+//!    fills, advance the pipeline (fetch/issue/execute/L1/prefetch), and
+//!    drain the SM's outbound queues into the worker's *staging ring* in
+//!    `(sm_id, queue order)`. SMs interact only through the
+//!    interconnect, so this phase is data parallel over SMs.
+//! 2. **Memory-local phase** — per DRAM channel: first claim staged
+//!    requests routed to the worker's channels (the fused injection —
+//!    every worker scans the full staged sequence read-only, so the
+//!    per-link send order is exactly the old serial phase's), then eject
+//!    requests into the channel's partitions, advance the channel, and
+//!    advance its partitions (L2/MSHR/FR-FCFS). Partitions sharing a
+//!    channel form one shard, so this phase is data parallel over
+//!    channels.
+//! 3. **Serial tail** — drain partition reply queues into the reply
+//!    networks in fixed partition order (the merge that keeps reply-link
+//!    packet order identical to sequential stepping), refill CTA slots,
+//!    merge the per-shard quiescence summaries, and clear the staging
+//!    rings.
 //!
-//! With `sim_threads > 1` phases 1 and 3 fan out over a persistent
-//! [`ShardPool`]; each worker owns a disjoint set of SMs (resp.
-//! channels) *and their interconnect lanes and quiescence-cache
-//! entries*, so no shared mutable state exists inside a parallel phase —
-//! no locks, no atomics, and statistics live in per-component counters
-//! merged once at the end of the run. Because the parallel engine runs
-//! the same phase bodies over the same disjoint state in the same
-//! per-shard order, its output is bit-identical to the sequential
+//! With `sim_threads > 1` the two phases fan out over a persistent
+//! [`ShardPool`] through [`ShardPool::run2`], which runs both phases in
+//! one dispatch with one internal barrier; each worker owns a disjoint
+//! set of SMs (resp. channels) *and their interconnect links and
+//! quiescence-cache entries*, so no shared mutable state exists inside a
+//! parallel phase — no locks, no atomics, and statistics live in
+//! per-component counters merged once at the end of the run. Staging
+//! rings are written by exactly one phase-1 worker and read (never
+//! mutated) by phase-2 workers across the barrier. Because the parallel
+//! engine runs the same phase bodies over the same disjoint state in the
+//! same per-shard order, its output is bit-identical to the sequential
 //! engine for every thread count (enforced by the differential suite).
 
 use crate::config::GpuConfig;
 use crate::cta_scheduler::CtaDistributor;
 use crate::dram::{DramChannel, DramRequest};
-use crate::interconnect::{Lane, MemReply, MemRequest, Network};
+use crate::interconnect::{Link, MemReply, MemRequest, Network};
 use crate::kernel::Kernel;
 use crate::partition::MemoryPartition;
 use crate::pool::ShardPool;
+use crate::port::{PortSnapshot, Ring};
 use crate::prefetch::PrefetcherFactory;
 use crate::sched::make_scheduler;
 use crate::sm::Sm;
-use crate::stats::Stats;
+use crate::stats::{LinkReport, Stats};
 use crate::types::{CtaCoord, Cycle};
 
 /// Hard ceiling on simulated cycles; a run exceeding it returns what it
@@ -72,6 +80,31 @@ pub struct Gpu {
     /// emptiness (the refill trigger), so per-shard collection needs no
     /// merge step.
     completed_shards: Vec<Vec<CtaCoord>>,
+    /// Per-worker staging rings for the fused injection: phase-1 worker
+    /// `w` drains its SMs' outbound queues here in `(sm_id, queue
+    /// order)`; phase-2 workers read every ring (in shard order, which
+    /// reconstructs the global serial order) and claim the requests
+    /// routed to their channels. Cleared serially at the end of the
+    /// cycle so a thread-count change can never resurrect stale entries.
+    staging: Vec<Ring<MemRequest>>,
+    /// Per-worker minimum of `sm_quiet_until` over the worker's shard,
+    /// written unconditionally by every phase-1 worker and merged into
+    /// [`Self::sm_quiet_min`] in the serial tail.
+    sm_shard_min: Vec<Cycle>,
+    /// Per-worker count of SMs skipped via the quiescence cache this
+    /// cycle (feeds the gate-benefit sample and the active-SM estimate).
+    sm_shard_skips: Vec<u64>,
+    /// Lazily-maintained machine-wide minimum of `sm_quiet_until`:
+    /// refreshed by the phase-1 merge each cycle and forced to 0 by every
+    /// site that zeroes cache entries outside phase 1 (CTA launches,
+    /// cache resets). Replaces the per-cycle full scan the horizon gate
+    /// used to run in `advance_until_done`.
+    sm_quiet_min: Cycle,
+    /// SMs not skipped as quiescent last cycle — the previous-cycle
+    /// activity estimate `plan_threads` consults instead of rescanning
+    /// the quiescence cache (host-side only; both engine choices are
+    /// bit-identical).
+    sm_active_estimate: usize,
     /// Event-horizon fast-forward: when no component can make progress,
     /// jump the clock to the next event instead of stepping cycle by
     /// cycle. Statistics are bit-identical either way; disabled by the
@@ -164,22 +197,28 @@ fn shard_range(w: usize, n: usize, t: usize) -> std::ops::Range<usize> {
 }
 
 /// Raw-pointer view of the SM-local phase state. Each worker touches
-/// only the SMs in its shard range plus exactly those SMs' reply lanes,
-/// quiescence-cache entries, and its own completed scratch — disjoint by
-/// construction, which is what makes the `Sync` impl sound.
+/// only the SMs in its shard range plus exactly those SMs' reply links,
+/// quiescence-cache entries, and its own staging/completed/summary
+/// slots — disjoint by construction, which is what makes the `Sync`
+/// impl sound.
 struct SmPhase<'a> {
     sms: *mut Sm,
-    reply: *mut Lane<MemReply>,
-    pf_reply: *mut Lane<MemReply>,
+    reply: *mut Link<MemReply>,
+    pf_reply: *mut Link<MemReply>,
     quiet: *mut Cycle,
     probe_at: *mut Cycle,
     probe_streak: *mut u8,
     completed: *mut Vec<CtaCoord>,
+    /// Per-worker staging ring receiving the shard's outbound requests.
+    staging: *mut Ring<MemRequest>,
+    /// Per-worker quiescence-minimum slot (written unconditionally).
+    shard_min: *mut Cycle,
+    /// Per-worker quiet-skip count slot (written unconditionally).
+    shard_skips: *mut u64,
     kernel: &'a Kernel,
     num_sms: usize,
     threads: usize,
     bw: u32,
-    depth: usize,
     fast_forward: bool,
     now: Cycle,
 }
@@ -193,21 +232,25 @@ impl SmPhase<'_> {
     ///
     /// # Safety
     /// At most one concurrent caller per distinct `w`; pointers must be
-    /// valid for `num_sms` elements (`completed` for `threads`).
+    /// valid for `num_sms` elements (`completed`, `staging`, `shard_min`
+    /// and `shard_skips` for `threads`).
     unsafe fn run_shard(&self, w: usize) {
         let completed = &mut *self.completed.add(w);
+        let stage = &mut *self.staging.add(w);
+        let mut local_min = Cycle::MAX;
+        let mut local_skips = 0u64;
         for i in shard_range(w, self.num_sms, self.threads) {
             let sm = &mut *self.sms.add(i);
             let quiet = &mut *self.quiet.add(i);
-            let lane = &mut *self.reply.add(i);
-            let pf_lane = &mut *self.pf_reply.add(i);
+            let link = &mut *self.reply.add(i);
+            let pf_link = &mut *self.pf_reply.add(i);
 
             // 1a. Deliver fills: demand replies first, then the prefetch
             // virtual channel.
-            lane.step(self.now, self.depth);
-            pf_lane.step(self.now, self.depth);
+            link.step(self.now);
+            pf_link.step(self.now);
             for _ in 0..self.bw {
-                match lane.pop_one() {
+                match link.pop_one() {
                     Some(reply) => {
                         sm.on_fill(self.now, reply.line);
                         *quiet = 0;
@@ -216,7 +259,7 @@ impl SmPhase<'_> {
                 }
             }
             for _ in 0..self.bw {
-                match pf_lane.pop_one() {
+                match pf_link.pop_one() {
                     Some(reply) => {
                         sm.on_fill(self.now, reply.line);
                         *quiet = 0;
@@ -235,39 +278,59 @@ impl SmPhase<'_> {
             // probe off exponentially and the SM is stepped directly in
             // between — identical to naive stepping, so only quiescence
             // *detection* is delayed, never the simulated outcome.
-            if self.fast_forward {
-                if *quiet > self.now {
-                    sm.account_skipped(1);
-                    continue;
-                }
-                let probe_at = &mut *self.probe_at.add(i);
-                if self.now >= *probe_at {
-                    if !sm.can_progress(self.now, self.kernel) {
-                        *self.probe_streak.add(i) = 0;
+            'pipeline: {
+                if self.fast_forward {
+                    if *quiet > self.now {
                         sm.account_skipped(1);
-                        *quiet = sm.next_event(self.now).unwrap_or(Cycle::MAX);
-                        continue;
+                        local_skips += 1;
+                        break 'pipeline;
                     }
-                    let streak = &mut *self.probe_streak.add(i);
-                    *probe_at = self.now + (1u64 << *streak);
-                    *streak = (*streak + 1).min(MAX_PROBE_BACKOFF_LOG2);
+                    let probe_at = &mut *self.probe_at.add(i);
+                    if self.now >= *probe_at {
+                        if !sm.can_progress(self.now, self.kernel) {
+                            *self.probe_streak.add(i) = 0;
+                            sm.account_skipped(1);
+                            *quiet = sm.next_event(self.now).unwrap_or(Cycle::MAX);
+                            break 'pipeline;
+                        }
+                        let streak = &mut *self.probe_streak.add(i);
+                        *probe_at = self.now + (1u64 << *streak);
+                        *streak = (*streak + 1).min(MAX_PROBE_BACKOFF_LOG2);
+                    }
                 }
+                sm.step(self.now, self.kernel, completed);
             }
-            sm.step(self.now, self.kernel, completed);
+
+            // 1c. Fused injection, producer half: drain the SM's
+            // outbound queues into this worker's staging ring, exactly
+            // as the old serial injection phase did — unconditionally,
+            // for every SM (a quiescent SM's outbound queues are
+            // provably empty, so the drain is a no-op there, but
+            // draining regardless makes the equivalence unconditional).
+            for _ in 0..self.bw {
+                let Some(req) = sm.pop_outbound() else { break };
+                stage.push_back(req);
+            }
+            local_min = local_min.min(*quiet);
         }
+        *self.shard_min.add(w) = local_min;
+        *self.shard_skips.add(w) = local_skips;
     }
 }
 
 /// Raw-pointer view of the memory-local phase state, sharded by DRAM
 /// channel. A worker that owns channel `c` also owns every partition
-/// with `p % num_channels == c`, those partitions' request lanes and
+/// with `p % num_channels == c`, those partitions' request links and
 /// quiescence entries, and the channel's completion scratch — again
-/// disjoint by construction.
-struct MemPhase {
+/// disjoint by construction. The staging rings are shared, but strictly
+/// read-only in this phase (phase 1 finished writing them before the
+/// barrier), and each staged request is claimed by exactly one worker
+/// because its destination partition maps to exactly one channel.
+struct MemPhase<'a> {
     partitions: *mut MemoryPartition,
     channels: *mut DramChannel,
-    req: *mut Lane<MemRequest>,
-    pf_req: *mut Lane<MemRequest>,
+    req: *mut Link<MemRequest>,
+    pf_req: *mut Link<MemRequest>,
     part_quiet: *mut Cycle,
     part_probe_at: *mut Cycle,
     part_probe_streak: *mut u8,
@@ -275,27 +338,63 @@ struct MemPhase {
     ch_probe_at: *mut Cycle,
     ch_probe_streak: *mut u8,
     scratch: *mut Vec<DramRequest>,
+    /// Phase-1 staging rings, read-only here (consumer half of the
+    /// fused injection).
+    staging: *const Ring<MemRequest>,
+    /// Number of staging rings phase 1 wrote this cycle.
+    num_sm_shards: usize,
+    cfg: &'a GpuConfig,
     num_partitions: usize,
     num_channels: usize,
     threads: usize,
     bw: u32,
-    depth: usize,
+    /// Interconnect pipe latency, applied at injection.
+    latency: Cycle,
     fast_forward: bool,
     now: Cycle,
 }
 
 // SAFETY: as for `SmPhase` — the channel-group decomposition gives each
-// worker exclusive access to everything it dereferences.
-unsafe impl Sync for MemPhase {}
+// worker exclusive access to everything it dereferences mutably; the
+// staging rings are read-shared and the `cfg` reference is read-only.
+unsafe impl Sync for MemPhase<'_> {}
 
-impl MemPhase {
+impl MemPhase<'_> {
     /// Run the memory-local phase for shard `w`.
     ///
     /// # Safety
     /// At most one concurrent caller per distinct `w`; pointers must be
-    /// valid for their respective element counts.
+    /// valid for their respective element counts; phase 1 must have
+    /// finished writing every staging ring (the pool barrier).
     unsafe fn run_shard(&self, w: usize) {
-        for c in shard_range(w, self.num_channels, self.threads) {
+        let range = shard_range(w, self.num_channels, self.threads);
+
+        // Fused injection, consumer half (replaces the old serial
+        // phase 2): walk the complete staged sequence — (shard, position)
+        // order reconstructs the serial engine's (sm_id, queue order) —
+        // and claim only the requests routed to this worker's channels.
+        // Sends land `latency` cycles out, so they cannot interact with
+        // this cycle's link stepping below, exactly like the old
+        // pre-phase-3 serial injection.
+        if !range.is_empty() {
+            for s in 0..self.num_sm_shards {
+                let stage = &*self.staging.add(s);
+                for req in stage.iter() {
+                    let dst = self.cfg.partition_of(req.line);
+                    if !range.contains(&self.cfg.channel_of_partition(dst)) {
+                        continue;
+                    }
+                    let link = if req.kind.is_prefetch() {
+                        &mut *self.pf_req.add(dst)
+                    } else {
+                        &mut *self.req.add(dst)
+                    };
+                    link.send(self.now + self.latency, *req);
+                }
+            }
+        }
+
+        for c in range {
             let ch = &mut *self.channels.add(c);
             let ch_quiet = &mut *self.ch_quiet.add(c);
             let scratch = &mut *self.scratch.add(c);
@@ -306,16 +405,16 @@ impl MemPhase {
             while p < self.num_partitions {
                 let part = &mut *self.partitions.add(p);
                 let quiet = &mut *self.part_quiet.add(p);
-                for lane in [&mut *self.req.add(p), &mut *self.pf_req.add(p)] {
-                    lane.step(self.now, self.depth);
+                for link in [&mut *self.req.add(p), &mut *self.pf_req.add(p)] {
+                    link.step(self.now);
                     for _ in 0..self.bw {
-                        let Some(req) = lane.peek() else {
+                        let Some(req) = link.peek() else {
                             break;
                         };
                         if !part.can_accept(req.kind) {
                             break;
                         }
-                        let req = lane.pop_one().expect("peeked");
+                        let req = link.pop_one().expect("peeked");
                         part.accept(self.now, req);
                         *quiet = 0;
                     }
@@ -430,29 +529,45 @@ impl Gpu {
                 )
             })
             .collect::<Vec<_>>();
+        // Pipe rings are sized from the producers' aggregate in-flight
+        // bounds so steady state never allocates (§9d): every SM's
+        // demand misses are MSHR-bounded and its prefetches are bounded
+        // by the in-flight cap, and in the worst case all of them target
+        // one partition; replies to one SM are bounded by the same two
+        // caps. Stores have no such bound — they are fire-and-forget
+        // (no MSHR entry, no reply), so a store burst converging on one
+        // backpressured partition can pile past the load bound (HST
+        // reaches ~4x it); the demand pipe gets 4x headroom and the
+        // ring's counted growth valve covers anything beyond.
+        let demand_bound = cfg.l1d.mshr_entries as usize;
+        let pf_bound = cfg.prefetch_queue_depth;
         let req_net = Network::new(
             cfg.num_partitions,
             cfg.icnt_latency,
             cfg.icnt_queue_depth,
             cfg.icnt_bandwidth,
+            cfg.num_sms * demand_bound * 4,
         );
         let pf_req_net = Network::new(
             cfg.num_partitions,
             cfg.icnt_latency,
             cfg.icnt_queue_depth,
             cfg.icnt_bandwidth,
+            cfg.num_sms * pf_bound,
         );
         let reply_net = Network::new(
             cfg.num_sms,
             cfg.icnt_latency,
             cfg.icnt_queue_depth,
             cfg.icnt_bandwidth,
+            demand_bound + pf_bound,
         );
         let pf_reply_net = Network::new(
             cfg.num_sms,
             cfg.icnt_latency,
             cfg.icnt_queue_depth,
             cfg.icnt_bandwidth,
+            demand_bound + pf_bound,
         );
         let partitions = (0..cfg.num_partitions)
             .map(|id| MemoryPartition::new(id, &cfg))
@@ -478,6 +593,11 @@ impl Gpu {
             cycle: 0,
             dram_scratch: (0..num_channels).map(|_| Vec::new()).collect(),
             completed_shards: vec![Vec::new()],
+            staging: Vec::new(),
+            sm_shard_min: Vec::new(),
+            sm_shard_skips: Vec::new(),
+            sm_quiet_min: 0,
+            sm_active_estimate: num_sms,
             fast_forward: std::env::var_os("GPU_SIM_NO_SKIP").is_none(),
             skipped_cycles: 0,
             skip_events: 0,
@@ -527,6 +647,8 @@ impl Gpu {
     /// naive stepping during which nothing maintained them).
     fn reset_quiescence_caches(&mut self) {
         self.sm_quiet_until.fill(0);
+        self.sm_quiet_min = 0;
+        self.sm_active_estimate = self.cfg.num_sms;
         self.sm_probe_at.fill(0);
         self.sm_probe_streak.fill(0);
         self.part_quiet_until.fill(0);
@@ -618,11 +740,14 @@ impl Gpu {
         while !self.done() && self.cycle < max_cycles {
             let now = self.cycle;
             // Machine-wide quiescence requires every SM quiescent, so the
-            // cheap per-SM cache gates the full probe: in busy phases the
-            // per-cycle overhead is one scan of `sm_quiet_until`. The
-            // same scan yields the nearest cached SM event — an upper
-            // bound on how far a skip could jump (the horizon takes the
-            // min over these and more). When that bound is under
+            // cheap per-SM cache gates the full probe. The cached
+            // machine-wide minimum `sm_quiet_min` — refreshed by the
+            // phase-1 merge and forced to 0 by every out-of-phase cache
+            // reset — replaces the full `sm_quiet_until` scan this loop
+            // used to run every cycle: in busy phases the per-cycle gate
+            // overhead is now O(1). The minimum is an upper bound on how
+            // far a skip could jump (the horizon takes the min over
+            // these and more). When that bound is under
             // `min_profitable_skip`, the `can_progress` probe plus the
             // `horizon` walk would cost more host time than the handful
             // of simulated cycles they could skip, so short gaps are
@@ -634,16 +759,7 @@ impl Gpu {
                     self.gate_boundary(now);
                 }
                 if self.ff_gate_open {
-                    // One pass yields both the machine-wide bound and the
-                    // window's benefit sample (each quiet SM this cycle is
-                    // one avoided pipeline walk).
-                    let mut min_quiet = Cycle::MAX;
-                    let mut quiet_sms = 0u64;
-                    for &q in &self.sm_quiet_until {
-                        min_quiet = min_quiet.min(q);
-                        quiet_sms += u64::from(q > now);
-                    }
-                    self.gate_benefit += quiet_sms;
+                    let min_quiet = self.sm_quiet_min;
                     if min_quiet > now && min_quiet - now >= self.min_profitable_skip {
                         if !self.can_progress(now) {
                             // Nothing can happen before the horizon. `None`
@@ -884,6 +1000,10 @@ impl Gpu {
             self.sms[sm].launch_cta(coord);
             self.sm_quiet_until[sm] = 0;
         }
+        // Cache entries were zeroed outside phase 1; the cached minimum
+        // must see it.
+        self.sm_quiet_min = 0;
+        self.sm_active_estimate = self.cfg.num_sms;
     }
 
     fn done(&self) -> bool {
@@ -899,23 +1019,19 @@ impl Gpu {
 
     /// Worker count for this cycle: the configured `sim_threads`,
     /// clamped to the SM count, with an automatic sequential fallback
-    /// when so few SMs are active that two barrier synchronisations
-    /// would cost more than the parallel phase saves. Both engines are
-    /// bit-identical, so the per-cycle choice cannot perturb results.
-    fn plan_threads(&self, now: Cycle) -> usize {
+    /// when so few SMs are active that a barrier synchronisation would
+    /// cost more than the parallel phase saves. Uses the previous
+    /// cycle's activity estimate (maintained by the phase-1 merge)
+    /// instead of rescanning the quiescence cache — one cycle of lag in
+    /// a host-side scheduling hint. Both engines are bit-identical, so
+    /// the per-cycle choice cannot perturb results.
+    fn plan_threads(&self) -> usize {
         let t = self.sim_threads.min(self.cfg.num_sms);
         if t < 2 {
             return 1;
         }
-        if self.ff_active() {
-            let active = self
-                .sm_quiet_until
-                .iter()
-                .filter(|&&quiet| quiet <= now)
-                .count();
-            if active < 2 {
-                return 1;
-            }
+        if self.ff_active() && self.sm_active_estimate < 2 {
+            return 1;
         }
         t
     }
@@ -931,68 +1047,60 @@ impl Gpu {
         if self.completed_shards.len() < t {
             self.completed_shards.resize_with(t, Vec::new);
         }
+        if self.staging.len() < t {
+            // A shard can stage at most `icnt_bandwidth` requests per SM
+            // per cycle, so this bound keeps staging allocation-free even
+            // if one worker ends up owning every SM.
+            let cap = self.cfg.num_sms * self.cfg.icnt_bandwidth as usize;
+            self.staging.resize_with(t, || Ring::with_capacity(cap));
+        }
+        if self.sm_shard_min.len() < t {
+            self.sm_shard_min.resize(t, Cycle::MAX);
+            self.sm_shard_skips.resize(t, 0);
+        }
         if t > 1 && self.pool.as_ref().map(ShardPool::width) != Some(t) {
             self.pool = Some(ShardPool::new(t - 1));
         }
     }
 
-    /// Advance the whole GPU one core cycle through the four phases.
+    /// Advance the whole GPU one core cycle: the two fused parallel
+    /// phases (SM-local + staging, staged injection + memory-local)
+    /// separated by at most one barrier, then the serial tail.
     pub fn step(&mut self) {
         let now = self.cycle;
-        let t = self.plan_threads(now);
+        let t = self.plan_threads();
         self.ensure_workers(t);
 
-        // Phase 1: SM-local (parallel over SMs).
+        // Phases 1+2: SM-local (parallel over SMs, staging outbound
+        // requests per shard) and memory-local (parallel over channel
+        // groups, claiming staged requests for owned channels). One pool
+        // dispatch, one internal barrier — the only serial
+        // synchronisation point inside the cycle.
         {
-            let ctx = SmPhase {
+            let staging = self.staging.as_mut_ptr();
+            let sm_ctx = SmPhase {
                 sms: self.sms.as_mut_ptr(),
-                reply: self.reply_net.lanes_mut().as_mut_ptr(),
-                pf_reply: self.pf_reply_net.lanes_mut().as_mut_ptr(),
+                reply: self.reply_net.links_mut().as_mut_ptr(),
+                pf_reply: self.pf_reply_net.links_mut().as_mut_ptr(),
                 quiet: self.sm_quiet_until.as_mut_ptr(),
                 probe_at: self.sm_probe_at.as_mut_ptr(),
                 probe_streak: self.sm_probe_streak.as_mut_ptr(),
                 completed: self.completed_shards.as_mut_ptr(),
+                staging,
+                shard_min: self.sm_shard_min.as_mut_ptr(),
+                shard_skips: self.sm_shard_skips.as_mut_ptr(),
                 kernel: &self.kernel,
                 num_sms: self.cfg.num_sms,
                 threads: t,
                 bw: self.cfg.icnt_bandwidth,
-                depth: self.cfg.icnt_queue_depth,
                 fast_forward: self.ff_active(),
                 now,
             };
-            if t > 1 {
-                let pool = self.pool.as_ref().expect("pool ensured");
-                // SAFETY: each worker index maps to a disjoint shard.
-                pool.run(&|w| unsafe { ctx.run_shard(w) });
-            } else {
-                // SAFETY: single caller covers every shard.
-                unsafe { ctx.run_shard(0) };
-            }
-        }
-
-        // Phase 2: SM → request networks, serially in (sm_id, queue
-        // order) so per-destination packet order matches the sequential
-        // engine exactly (bounded per SM per cycle; demands and stores
-        // ride the high-priority channel).
-        for sm in &mut self.sms {
-            for _ in 0..self.cfg.icnt_bandwidth {
-                let Some(req) = sm.pop_outbound() else { break };
-                let dst = self.cfg.partition_of(req.line);
-                if req.kind.is_prefetch() {
-                    self.pf_req_net.send(now, dst, req);
-                } else {
-                    self.req_net.send(now, dst, req);
-                }
-            }
-        }
-
-        // Phase 3: memory-local (parallel over channel groups).
-        {
-            let ctx = MemPhase {
+            let mem_ctx = MemPhase {
                 partitions: self.partitions.as_mut_ptr(),
                 channels: self.channels.as_mut_ptr(),
-                req: self.req_net.lanes_mut().as_mut_ptr(),
-                pf_req: self.pf_req_net.lanes_mut().as_mut_ptr(),
+                req: self.req_net.links_mut().as_mut_ptr(),
+                pf_req: self.pf_req_net.links_mut().as_mut_ptr(),
                 part_quiet: self.part_quiet_until.as_mut_ptr(),
                 part_probe_at: self.part_probe_at.as_mut_ptr(),
                 part_probe_streak: self.part_probe_streak.as_mut_ptr(),
@@ -1000,39 +1108,66 @@ impl Gpu {
                 ch_probe_at: self.ch_probe_at.as_mut_ptr(),
                 ch_probe_streak: self.ch_probe_streak.as_mut_ptr(),
                 scratch: self.dram_scratch.as_mut_ptr(),
+                staging: staging as *const _,
+                num_sm_shards: t,
+                cfg: &self.cfg,
                 num_partitions: self.cfg.num_partitions,
                 num_channels: self.cfg.num_dram_channels,
                 threads: t.min(self.cfg.num_dram_channels),
                 bw: self.cfg.icnt_bandwidth,
-                depth: self.cfg.icnt_queue_depth,
+                latency: self.cfg.icnt_latency as Cycle,
                 fast_forward: self.ff_active(),
                 now,
             };
             if t > 1 {
                 let pool = self.pool.as_ref().expect("pool ensured");
-                // SAFETY: each worker index maps to a disjoint channel
-                // group (idle workers get an empty shard).
-                pool.run(&|w| unsafe { ctx.run_shard(w) });
+                // SAFETY: each worker index maps to a disjoint SM shard
+                // in phase 1 and a disjoint channel group in phase 2
+                // (idle workers get an empty group); the pool barrier
+                // orders every phase-1 staging write before any phase-2
+                // read.
+                pool.run2(
+                    &|w| unsafe { sm_ctx.run_shard(w) },
+                    &|w| unsafe { mem_ctx.run_shard(w) },
+                );
             } else {
-                // SAFETY: single caller covers every shard.
-                unsafe { ctx.run_shard(0) };
+                // SAFETY: single caller covers every shard, in phase
+                // order.
+                unsafe {
+                    sm_ctx.run_shard(0);
+                    mem_ctx.run_shard(0);
+                }
             }
         }
 
-        // Phase 4: partitions → reply networks, serially in fixed
-        // partition order (the merge that keeps reply-lane packet order
+        // Serial tail (a): merge the per-shard quiescence summaries into
+        // the cached machine-wide minimum, the gate-benefit sample (each
+        // quiet SM this cycle is one avoided pipeline walk), and the
+        // next cycle's activity estimate. All host-side.
+        let mut min_quiet = Cycle::MAX;
+        let mut skips = 0u64;
+        for w in 0..t {
+            min_quiet = min_quiet.min(self.sm_shard_min[w]);
+            skips += self.sm_shard_skips[w];
+        }
+        self.sm_quiet_min = min_quiet;
+        self.sm_active_estimate = self.cfg.num_sms.saturating_sub(skips as usize);
+        self.gate_benefit += skips;
+
+        // Serial tail (b): partitions → reply networks, in fixed
+        // partition order (the merge that keeps reply-link packet order
         // identical to sequential stepping), then demand-driven CTA
         // refill (Fig. 3): completed CTAs free slots; the distributor
         // hands out the next CTA ids.
         for p in 0..self.cfg.num_partitions {
             for _ in 0..self.cfg.icnt_bandwidth {
-                let Some(reply) = self.partitions[p].reply_out.pop_front() else {
+                let Some(reply) = self.partitions[p].reply_out.pop() else {
                     break;
                 };
                 self.reply_net.send(now, reply.sm, reply);
             }
             for _ in 0..self.cfg.icnt_bandwidth {
-                let Some(reply) = self.partitions[p].pf_reply_out.pop_front() else {
+                let Some(reply) = self.partitions[p].pf_reply_out.pop() else {
                     break;
                 };
                 self.pf_reply_net.send(now, reply.sm, reply);
@@ -1045,10 +1180,18 @@ impl Gpu {
             }
         }
 
+        // Serial tail (c): every staged request was claimed by exactly
+        // one phase-2 worker; clear the rings so next cycle (possibly
+        // with a different worker count) starts from empty.
+        for stage in &mut self.staging {
+            stage.clear();
+        }
+
         self.cycle += 1;
     }
 
     fn refill_ctas(&mut self) {
+        let mut launched = false;
         for (i, sm) in self.sms.iter_mut().enumerate() {
             while sm.has_free_cta_slot() {
                 match self.distributor.next_cta() {
@@ -1056,10 +1199,16 @@ impl Gpu {
                         let coord = self.kernel.cta_coord(id);
                         sm.launch_cta(coord);
                         self.sm_quiet_until[i] = 0;
+                        launched = true;
                     }
                     None => break,
                 }
             }
+        }
+        if launched {
+            // A launch zeroed cache entries after the phase-1 merge ran;
+            // keep the cached minimum consistent with the entries.
+            self.sm_quiet_min = 0;
         }
     }
 
@@ -1099,6 +1248,46 @@ impl Gpu {
         total
     }
 
+    /// Per-subsystem port/link occupancy and backpressure report:
+    /// high-water marks, credit-stall counts, and growth-valve
+    /// activations aggregated over every ring in the memory path.
+    /// Host-side reporting only — fast-forward changes how often stalled
+    /// producers retry, so these counters legitimately differ between
+    /// engines and are *not* part of the bit-identity contract (unlike
+    /// [`Stats`]).
+    pub fn link_report(&self) -> LinkReport {
+        let mut sm_ports = PortSnapshot::default();
+        for sm in &self.sms {
+            sm_ports.absorb(sm.port_snapshot());
+        }
+        let mut partition_ports = PortSnapshot::default();
+        for p in &self.partitions {
+            partition_ports.absorb(p.port_snapshot());
+        }
+        let mut dram_queues = PortSnapshot::default();
+        for c in &self.channels {
+            dram_queues.absorb(c.port_snapshot());
+        }
+        let mut staging = PortSnapshot::default();
+        for s in &self.staging {
+            staging.absorb(PortSnapshot {
+                high_water: s.high_water(),
+                credit_stalls: 0,
+                grows: s.grows(),
+            });
+        }
+        LinkReport {
+            req_net: self.req_net.snapshot(),
+            pf_req_net: self.pf_req_net.snapshot(),
+            reply_net: self.reply_net.snapshot(),
+            pf_reply_net: self.pf_reply_net.snapshot(),
+            sm_ports,
+            partition_ports,
+            dram_queues,
+            staging,
+        }
+    }
+
     /// The configuration this GPU was built with.
     pub fn config(&self) -> &GpuConfig {
         &self.cfg
@@ -1132,8 +1321,9 @@ fn assert_shard_state_is_send() {
     ok::<Sm>();
     ok::<MemoryPartition>();
     ok::<DramChannel>();
-    ok::<Lane<MemRequest>>();
-    ok::<Lane<MemReply>>();
+    ok::<Link<MemRequest>>();
+    ok::<Link<MemReply>>();
+    ok::<Ring<MemRequest>>();
     ok::<Vec<CtaCoord>>();
     ok::<Vec<DramRequest>>();
 }
@@ -1357,6 +1547,25 @@ mod tests {
                 "cap {cap}"
             );
         }
+    }
+
+    #[test]
+    fn link_report_sees_traffic_and_steady_state_never_grows() {
+        let cfg = GpuConfig::test_small();
+        let mut gpu = Gpu::new(cfg, stride_kernel(16, 4), &*null_factory());
+        gpu.set_sim_threads(2);
+        let stats = gpu.run(1_000_000);
+        assert_eq!(stats.ctas_completed, 16);
+        let report = gpu.link_report();
+        assert!(report.req_net.high_water > 0, "demand traffic flowed");
+        assert!(report.reply_net.high_water > 0, "replies flowed");
+        assert!(report.sm_ports.high_water > 0);
+        assert!(report.partition_ports.high_water > 0);
+        assert!(report.dram_queues.high_water > 0);
+        assert!(report.staging.high_water > 0, "fused injection staged requests");
+        // Every ring on the memory path is sized from its producers'
+        // in-flight bounds, so a run must never hit the growth valve.
+        assert_eq!(report.total().grows, 0, "steady state must not allocate");
     }
 
     #[test]

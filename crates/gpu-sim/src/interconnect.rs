@@ -6,16 +6,18 @@
 //! queues back up and effective latency grows super-linearly — the
 //! congestion effect §I measures (62% stall cycles for nearest-neighbour).
 //!
-//! Internally a network is a vector of per-destination [`Lane`]s with no
-//! shared mutable state between lanes (each lane carries its own pipe,
-//! ejection queue, stall counter and wake bound). That layout is what the
-//! phase-split parallel cycle engine in [`crate::gpu`] shards on: a
-//! worker that owns destination `d` may mutate lane `d` while other
-//! workers mutate theirs, with no atomics and no locks, and the summed
-//! statistics are identical to sequential stepping by construction.
+//! Internally a network is a vector of per-destination [`Link`]s (from
+//! the unified port layer, [`crate::port`]) with no shared mutable state
+//! between links: each link carries its own preallocated pipe ring,
+//! bounded eject [`crate::port::Port`], stall counter and wake bound.
+//! That layout is what the phase-split parallel cycle engine in
+//! [`crate::gpu`] shards on: a worker that owns destination `d` may
+//! mutate link `d` while other workers mutate theirs, with no atomics
+//! and no locks, and the summed statistics are identical to sequential
+//! stepping by construction.
 
-use std::collections::VecDeque;
-
+pub use crate::port::Link;
+use crate::port::PortSnapshot;
 use crate::types::{AccessKind, Addr, Cycle, SmId};
 
 /// A memory request travelling SM → partition.
@@ -41,140 +43,37 @@ pub struct MemReply {
     pub is_prefetch: bool,
 }
 
-/// One crossbar output: the in-flight pipe and bounded ejection queue of
-/// a single destination. Lanes are fully independent — the parallel
-/// engine hands each memory-side shard exclusive `&mut` access to its
-/// own lanes.
-#[derive(Debug)]
-pub struct Lane<T> {
-    /// In-flight messages (arrival cycle, payload); arrival cycles are
-    /// monotone because senders inject with a constant latency.
-    pipe: VecDeque<(Cycle, T)>,
-    /// Arrived but not yet ejected (bounded by the network's depth).
-    eject: VecDeque<T>,
-    /// Cumulative cycles this lane's pipe head waited for a full
-    /// ejection queue (congestion diagnostic, summed per network).
-    pub stall_events: u64,
-    /// This lane's [`Lane::step`] is a provable no-op before this cycle.
-    /// Exact: recomputed from the surviving head after every scan and
-    /// lowered by every send; a blocked head (arrived, ejection queue
-    /// full) keeps the bound at or below `now`, forcing rescans while
-    /// its stall events accrue.
-    wake_at: Cycle,
-}
-
-impl<T> Lane<T> {
-    fn new(eject_depth: usize) -> Self {
-        Lane {
-            pipe: VecDeque::new(),
-            eject: VecDeque::with_capacity(eject_depth),
-            stall_events: 0,
-            wake_at: 0,
-        }
-    }
-
-    /// Move this lane's arrived messages into its ejection queue
-    /// (respecting `depth`). Call once per cycle before popping.
-    pub fn step(&mut self, now: Cycle, depth: usize) {
-        if now < self.wake_at {
-            return;
-        }
-        while let Some(&(t, _)) = self.pipe.front() {
-            if t > now {
-                break;
-            }
-            if self.eject.len() >= depth {
-                // The hot output's queue is full: its own pipe backs
-                // up, other outputs are unaffected.
-                self.stall_events += 1;
-                break;
-            }
-            let (_, msg) = self.pipe.pop_front().expect("checked non-empty");
-            self.eject.push_back(msg);
-        }
-        self.wake_at = match self.pipe.front() {
-            Some(&(t, _)) => t,
-            None => Cycle::MAX,
-        };
-    }
-
-    /// Whether this lane has a deliverable message.
-    #[inline]
-    pub fn has_pending(&self) -> bool {
-        !self.eject.is_empty()
-    }
-
-    /// Peek at the next deliverable message without consuming it.
-    #[inline]
-    pub fn peek(&self) -> Option<&T> {
-        self.eject.front()
-    }
-
-    /// Take a single deliverable message, if any.
-    #[inline]
-    pub fn pop_one(&mut self) -> Option<T> {
-        self.eject.pop_front()
-    }
-
-    /// Whether a [`Lane::step`] at `now` would move at least one message
-    /// into the ejection queue.
-    #[inline]
-    pub fn can_deliver(&self, now: Cycle, depth: usize) -> bool {
-        self.pipe
-            .front()
-            .is_some_and(|&(t, _)| t <= now && self.eject.len() < depth)
-    }
-
-    /// Whether the pipe head has arrived but is blocked on a full
-    /// ejection queue.
-    #[inline]
-    pub fn blocked_head(&self, now: Cycle, depth: usize) -> bool {
-        self.pipe
-            .front()
-            .is_some_and(|&(t, _)| t <= now && self.eject.len() >= depth)
-    }
-
-    /// Earliest strictly-future pipe arrival on this lane.
-    #[inline]
-    pub fn earliest_arrival(&self, now: Cycle) -> Option<Cycle> {
-        self.pipe.front().map(|&(t, _)| t).filter(|&t| t > now)
-    }
-
-    /// Messages anywhere in this lane (pipe + ejection queue).
-    #[inline]
-    pub fn in_flight(&self) -> usize {
-        self.pipe.len() + self.eject.len()
-    }
-
-    fn send(&mut self, at: Cycle, msg: T) {
-        debug_assert!(self.pipe.back().is_none_or(|&(t, _)| t <= at));
-        self.pipe.push_back((at, msg));
-        if at < self.wake_at {
-            self.wake_at = at;
-        }
-    }
-}
-
 /// One-direction crossbar network: per-destination pipes of constant
 /// latency feeding bounded per-destination ejection queues. Distinct
 /// destinations do not block each other (separate crossbar outputs); a
 /// hot destination backs up only its own pipe.
 #[derive(Debug)]
 pub struct Network<T> {
-    lanes: Vec<Lane<T>>,
+    links: Vec<Link<T>>,
     latency: u32,
     eject_depth: usize,
     eject_bw: u32,
     /// Stall events accounted in bulk by the fast-forward clock skip
-    /// (not attributable to a single lane; added to the summed total).
+    /// (not attributable to a single link; added to the summed total).
     skipped_stall_events: u64,
 }
 
 impl<T> Network<T> {
-    /// Network with `destinations` endpoints.
-    pub fn new(destinations: usize, latency: u32, eject_depth: usize, eject_bw: u32) -> Self {
+    /// Network with `destinations` endpoints. `pipe_capacity` preallocates
+    /// each link's in-flight ring (sized from the producers' aggregate
+    /// in-flight bound so steady state never allocates; the ring grows —
+    /// and counts it — if the bound is exceeded).
+    pub fn new(
+        destinations: usize,
+        latency: u32,
+        eject_depth: usize,
+        eject_bw: u32,
+        pipe_capacity: usize,
+    ) -> Self {
         Network {
-            lanes: (0..destinations).map(|_| Lane::new(eject_depth)).collect(),
+            links: (0..destinations)
+                .map(|_| Link::new(eject_depth, pipe_capacity))
+                .collect(),
             latency,
             eject_depth,
             eject_bw,
@@ -182,7 +81,7 @@ impl<T> Network<T> {
         }
     }
 
-    /// Per-destination ejection-queue depth.
+    /// Per-destination ejection-queue depth (credit count).
     #[inline]
     pub fn eject_depth(&self) -> usize {
         self.eject_depth
@@ -191,82 +90,79 @@ impl<T> Network<T> {
     /// Inject a message at `now`; it becomes visible at the destination
     /// after the pipe latency (plus any ejection queueing).
     pub fn send(&mut self, now: Cycle, dst: usize, msg: T) {
-        debug_assert!(dst < self.lanes.len());
+        debug_assert!(dst < self.links.len());
         let at = now + self.latency as Cycle;
-        self.lanes[dst].send(at, msg);
+        self.links[dst].send(at, msg);
     }
 
     /// Move arrived messages into ejection queues (respecting depth).
     /// Call once per cycle before [`Self::pop`].
     pub fn step(&mut self, now: Cycle) {
-        let depth = self.eject_depth;
-        for lane in &mut self.lanes {
-            lane.step(now, depth);
+        for link in &mut self.links {
+            link.step(now);
         }
     }
 
-    /// Exclusive access to every lane, for sharding: the parallel engine
-    /// splits this slice so each worker steps and drains only the lanes
+    /// Exclusive access to every link, for sharding: the parallel engine
+    /// splits this slice so each worker steps and drains only the links
     /// of the destinations it owns.
     #[inline]
-    pub fn lanes_mut(&mut self) -> &mut [Lane<T>] {
-        &mut self.lanes
+    pub fn links_mut(&mut self) -> &mut [Link<T>] {
+        &mut self.links
     }
 
     /// Take up to the per-cycle ejection bandwidth of messages for `dst`.
     /// Callers invoke this once per destination per cycle.
     pub fn pop(&mut self, dst: usize) -> EjectIter<'_, T> {
         EjectIter {
-            lane: &mut self.lanes[dst],
+            link: &mut self.links[dst],
             left: self.eject_bw,
         }
     }
 
     /// Peek whether `dst` has a deliverable message.
     pub fn has_pending(&self, dst: usize) -> bool {
-        self.lanes[dst].has_pending()
+        self.links[dst].has_pending()
     }
 
     /// Peek at the next deliverable message for `dst` without consuming.
     pub fn peek(&self, dst: usize) -> Option<&T> {
-        self.lanes[dst].peek()
+        self.links[dst].peek()
     }
 
     /// Take a single message for `dst` if one is deliverable. Callers
     /// that must check a consumer-side condition (e.g. partition input
     /// space) before consuming use this with their own bandwidth count.
     pub fn pop_one(&mut self, dst: usize) -> Option<T> {
-        self.lanes[dst].pop_one()
+        self.links[dst].pop_one()
     }
 
     /// Total messages anywhere in the network.
     pub fn in_flight(&self) -> usize {
-        self.lanes.iter().map(Lane::in_flight).sum()
+        self.links.iter().map(Link::in_flight).sum()
     }
 
     /// Any message sitting in an ejection queue.
     #[inline]
     pub fn has_ejected(&self) -> bool {
-        self.lanes.iter().any(Lane::has_pending)
+        self.links.iter().any(Link::has_pending)
     }
 
     /// Whether a [`Self::step`] at `now` would move at least one message
     /// from a pipe into an ejection queue (an arrival — forward progress
     /// for the fast-forward probe).
     pub fn can_deliver(&self, now: Cycle) -> bool {
-        self.lanes
-            .iter()
-            .any(|lane| lane.can_deliver(now, self.eject_depth))
+        self.links.iter().any(|link| link.can_deliver(now))
     }
 
     /// Number of destinations whose pipe head has arrived but is blocked
-    /// on a full ejection queue. [`Lane::step`] records exactly one
+    /// on a full ejection queue. [`Link::step`] records exactly one
     /// stall event per such destination per cycle, so a skipped window of
     /// `delta` cycles accounts `delta * blocked_heads` stall events.
     pub fn blocked_heads(&self, now: Cycle) -> u64 {
-        self.lanes
+        self.links
             .iter()
-            .filter(|lane| lane.blocked_head(now, self.eject_depth))
+            .filter(|link| link.blocked_head(now))
             .count() as u64
     }
 
@@ -275,9 +171,9 @@ impl<T> Network<T> {
         self.skipped_stall_events += events;
     }
 
-    /// Total stall events: per-lane counts plus bulk skip accounting.
+    /// Total stall events: per-link counts plus bulk skip accounting.
     pub fn stall_events(&self) -> u64 {
-        self.skipped_stall_events + self.lanes.iter().map(|l| l.stall_events).sum::<u64>()
+        self.skipped_stall_events + self.links.iter().map(|l| l.stall_events).sum::<u64>()
     }
 
     /// Earliest future pipe arrival, strictly after `now`. Heads already
@@ -285,16 +181,27 @@ impl<T> Network<T> {
     /// progress (no skip happens), blocked ones cannot move until their
     /// consumer drains — a different progress event.
     pub fn earliest_arrival(&self, now: Cycle) -> Option<Cycle> {
-        self.lanes
+        self.links
             .iter()
-            .filter_map(|lane| lane.earliest_arrival(now))
+            .filter_map(|link| link.earliest_arrival(now))
             .min()
+    }
+
+    /// Occupancy/stall counters aggregated over every link (max of high
+    /// waters, sum of stalls and grows). Host-side reporting only — not
+    /// part of the bit-identity contract.
+    pub fn snapshot(&self) -> PortSnapshot {
+        let mut s = PortSnapshot::default();
+        for link in &self.links {
+            s.absorb(link.snapshot());
+        }
+        s
     }
 }
 
 /// Draining iterator bounded by ejection bandwidth.
 pub struct EjectIter<'a, T> {
-    lane: &'a mut Lane<T>,
+    link: &'a mut Link<T>,
     left: u32,
 }
 
@@ -306,7 +213,7 @@ impl<T> Iterator for EjectIter<'_, T> {
             return None;
         }
         self.left -= 1;
-        self.lane.pop_one()
+        self.link.pop_one()
     }
 }
 
@@ -316,7 +223,7 @@ mod tests {
 
     #[test]
     fn message_arrives_after_latency() {
-        let mut n: Network<u32> = Network::new(2, 10, 4, 1);
+        let mut n: Network<u32> = Network::new(2, 10, 4, 1, 8);
         n.send(0, 1, 42);
         for now in 0..10 {
             n.step(now);
@@ -328,7 +235,7 @@ mod tests {
 
     #[test]
     fn ejection_bandwidth_is_capped() {
-        let mut n: Network<u32> = Network::new(1, 0, 8, 2);
+        let mut n: Network<u32> = Network::new(1, 0, 8, 2, 8);
         for i in 0..5 {
             n.send(0, 0, i);
         }
@@ -340,7 +247,7 @@ mod tests {
 
     #[test]
     fn full_ejection_queue_blocks_only_its_own_pipe() {
-        let mut n: Network<u32> = Network::new(2, 0, 2, 1);
+        let mut n: Network<u32> = Network::new(2, 0, 2, 1, 8);
         // Overfill destination 0, and send one message to destination 1.
         for i in 0..3 {
             n.send(0, 0, i);
@@ -363,7 +270,7 @@ mod tests {
 
     #[test]
     fn order_is_preserved_per_destination() {
-        let mut n: Network<u32> = Network::new(1, 3, 16, 16);
+        let mut n: Network<u32> = Network::new(1, 3, 16, 16, 16);
         for i in 0..10 {
             n.send(i as Cycle, 0, i);
         }
@@ -375,7 +282,7 @@ mod tests {
 
     #[test]
     fn probes_track_arrivals_blocks_and_horizon() {
-        let mut n: Network<u32> = Network::new(2, 5, 1, 1);
+        let mut n: Network<u32> = Network::new(2, 5, 1, 1, 4);
         assert!(!n.can_deliver(0));
         assert_eq!(n.earliest_arrival(0), None);
         n.send(0, 0, 1);
@@ -398,7 +305,7 @@ mod tests {
 
     #[test]
     fn ejected_count_stays_consistent_across_drain_paths() {
-        let mut n: Network<u32> = Network::new(2, 0, 4, 2);
+        let mut n: Network<u32> = Network::new(2, 0, 4, 2, 8);
         for i in 0..4 {
             n.send(0, (i % 2) as usize, i);
         }
@@ -416,7 +323,7 @@ mod tests {
 
     #[test]
     fn in_flight_counts_pipe_and_eject() {
-        let mut n: Network<u32> = Network::new(1, 5, 4, 1);
+        let mut n: Network<u32> = Network::new(1, 5, 4, 1, 4);
         n.send(0, 0, 1);
         n.send(0, 0, 2);
         assert_eq!(n.in_flight(), 2);
@@ -429,27 +336,39 @@ mod tests {
     }
 
     #[test]
-    fn lane_sharding_view_matches_whole_network_stepping() {
-        // Stepping lanes individually through `lanes_mut` (as the
+    fn link_sharding_view_matches_whole_network_stepping() {
+        // Stepping links individually through `links_mut` (as the
         // parallel engine does) must behave exactly like `Network::step`.
-        let mut whole: Network<u32> = Network::new(3, 2, 2, 1);
-        let mut sharded: Network<u32> = Network::new(3, 2, 2, 1);
+        let mut whole: Network<u32> = Network::new(3, 2, 2, 1, 8);
+        let mut sharded: Network<u32> = Network::new(3, 2, 2, 1, 8);
         for i in 0..9u32 {
             whole.send(0, (i % 3) as usize, i);
             sharded.send(0, (i % 3) as usize, i);
         }
         for now in 0..8 {
             whole.step(now);
-            let depth = sharded.eject_depth();
-            for lane in sharded.lanes_mut() {
-                lane.step(now, depth);
+            for link in sharded.links_mut() {
+                link.step(now);
             }
             for d in 0..3 {
                 assert_eq!(whole.peek(d), sharded.peek(d), "dst {d} at {now}");
-                assert_eq!(whole.pop_one(d), sharded.lanes_mut()[d].pop_one());
+                assert_eq!(whole.pop_one(d), sharded.links_mut()[d].pop_one());
             }
         }
         assert_eq!(whole.stall_events(), sharded.stall_events());
         assert_eq!(whole.in_flight(), sharded.in_flight());
+    }
+
+    #[test]
+    fn snapshot_aggregates_links() {
+        let mut n: Network<u32> = Network::new(2, 0, 1, 1, 2);
+        for i in 0..3 {
+            n.send(0, 0, i);
+        }
+        n.step(0);
+        let s = n.snapshot();
+        assert!(s.high_water >= 2, "pipe held 3 before stepping");
+        assert!(s.credit_stalls > 0, "blocked head counts an eject stall");
+        assert!(s.grows > 0, "pipe capacity 2 overflowed");
     }
 }

@@ -55,6 +55,7 @@ pub mod linemap;
 pub mod mshr;
 pub mod partition;
 pub mod pool;
+pub mod port;
 pub mod prefetch;
 pub mod sched;
 pub mod sm;

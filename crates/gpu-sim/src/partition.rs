@@ -5,8 +5,16 @@
 //! channel's FR-FCFS queue. Fills flow back as per-SM replies. Stores are
 //! write-through to DRAM (no reply), matching the simulator's L1
 //! write-evict / no-allocate policy.
-
-use std::collections::VecDeque;
+//!
+//! Every queue in the partition is a [`Port`] from the unified port
+//! layer, preallocated at construction from its architectural bound:
+//! the input classes from the interconnect ejection depth, the hit pipe
+//! from the L2 hit latency (≤ one hit enqueued per cycle, each resident
+//! `hit_latency` cycles), and the reply queues from the MSHR capacity
+//! (≤ `mshr_entries × mshr_merge` outstanding waiters plus a full hit
+//! pipe draining on top). The write-back queue has no architectural
+//! bound (eviction bursts under DRAM saturation) and rides the ring's
+//! counted growth valve instead.
 
 use crate::cache::{Cache, Lookup};
 use crate::config::GpuConfig;
@@ -14,6 +22,7 @@ use crate::dram::{DramChannel, DramRequest};
 use crate::interconnect::{MemReply, MemRequest};
 use crate::linemap::LineMap;
 use crate::mshr::{MshrFile, MshrOutcome, Waiter};
+use crate::port::{Port, PortSnapshot};
 use crate::types::{AccessKind, Cycle};
 
 /// Per-partition statistics.
@@ -51,19 +60,18 @@ pub struct MemoryPartition {
     /// state allocates nothing.
     waiter_pool: Vec<Vec<L2Waiter>>,
     /// Demand/store requests accepted from the interconnect.
-    in_demand: VecDeque<(Cycle, MemRequest)>,
+    in_demand: Port<MemRequest>,
     /// Prefetch requests accepted from the interconnect (serviced only
     /// when no demand is waiting — lower priority, §V).
-    in_prefetch: VecDeque<(Cycle, MemRequest)>,
-    input_depth: usize,
+    in_prefetch: Port<MemRequest>,
     /// Hit replies delayed by the L2 hit latency.
-    hit_pipe: VecDeque<(Cycle, MemReply)>,
+    hit_pipe: Port<(Cycle, MemReply)>,
     /// Demand replies ready to inject into the reply network.
-    pub reply_out: VecDeque<MemReply>,
+    pub reply_out: Port<MemReply>,
     /// Prefetch replies (low-priority virtual channel).
-    pub pf_reply_out: VecDeque<MemReply>,
+    pub pf_reply_out: Port<MemReply>,
     /// Dirty lines evicted from L2, awaiting a DRAM write slot.
-    wb_q: VecDeque<u64>,
+    wb_q: Port<u64>,
     /// Memoized stalled input head: `Some(line)` when the head load
     /// missed L2 and could neither merge nor allocate. While the O(1)
     /// unblock re-checks stay false, `step` skips the L2 lookup and MSHR
@@ -79,47 +87,56 @@ pub struct MemoryPartition {
 }
 
 impl MemoryPartition {
-    /// Build partition `id` per `cfg`.
+    /// Build partition `id` per `cfg`, preallocating every queue from
+    /// its architectural bound (see module docs for the formulas).
     pub fn new(id: usize, cfg: &GpuConfig) -> Self {
+        let reply_bound = cfg.l2.mshr_entries as usize * cfg.l2.mshr_merge as usize
+            + cfg.l2.hit_latency as usize
+            + 1;
         MemoryPartition {
             id,
             l2: Cache::new(cfg.l2),
             mshr: MshrFile::new(cfg.l2.mshr_entries as usize, cfg.l2.mshr_merge as usize),
             waiters: LineMap::with_capacity(cfg.l2.mshr_entries as usize),
             waiter_pool: Vec::new(),
-            in_demand: VecDeque::new(),
-            in_prefetch: VecDeque::new(),
-            input_depth: cfg.icnt_queue_depth,
-            hit_pipe: VecDeque::new(),
-            reply_out: VecDeque::new(),
-            pf_reply_out: VecDeque::new(),
-            wb_q: VecDeque::new(),
+            in_demand: Port::new(cfg.icnt_queue_depth),
+            in_prefetch: Port::new(cfg.icnt_queue_depth),
+            hit_pipe: Port::new(cfg.l2.hit_latency as usize + 1),
+            reply_out: Port::new(reply_bound),
+            pf_reply_out: Port::new(reply_bound),
+            // Dirty evictions are produced at fill rate but drain only
+            // when FR-FCFS grants the write a slot, so read-heavy
+            // phases can starve the queue well past the DRAM depth
+            // (FFT reaches ~5x it); 16x headroom keeps steady state
+            // allocation-free, the counted growth valve covers the rest.
+            wb_q: Port::new(cfg.dram_queue_entries * 16),
             stall_memo: None,
             stats: PartitionStats::default(),
             l2_latency: cfg.l2.hit_latency,
         }
     }
 
-    /// Whether the partition can accept a request of `kind` this cycle.
-    /// The two priority classes have independent input queues so backed-up
-    /// prefetches cannot block demand acceptance.
+    /// Whether the partition can accept a request of `kind` this cycle
+    /// (a credit is free on that class's input port). The two priority
+    /// classes have independent input ports so backed-up prefetches
+    /// cannot block demand acceptance.
     #[inline]
     pub fn can_accept(&self, kind: AccessKind) -> bool {
         if kind.is_prefetch() {
-            self.in_prefetch.len() < self.input_depth
+            self.in_prefetch.credits() > 0
         } else {
-            self.in_demand.len() < self.input_depth
+            self.in_demand.credits() > 0
         }
     }
 
     /// Hand a request to the partition (from the interconnect ejection).
-    pub fn accept(&mut self, now: Cycle, req: MemRequest) {
+    pub fn accept(&mut self, _now: Cycle, req: MemRequest) {
         debug_assert!(self.can_accept(req.kind));
         self.stall_memo = None;
         if req.kind.is_prefetch() {
-            self.in_prefetch.push_back((now, req));
+            self.in_prefetch.push(req);
         } else {
-            self.in_demand.push_back((now, req));
+            self.in_demand.push(req);
         }
     }
 
@@ -141,7 +158,7 @@ impl MemoryPartition {
         } else {
             &mut self.in_prefetch
         };
-        q.pop_front();
+        q.pop();
     }
 
     /// Whether every queue in the partition is empty (drain check).
@@ -158,10 +175,7 @@ impl MemoryPartition {
     /// The input request `step` would service this cycle (demand class
     /// first, mirroring the bank-port arbitration).
     fn input_head(&self) -> Option<&MemRequest> {
-        self.in_demand
-            .front()
-            .or_else(|| self.in_prefetch.front())
-            .map(|(_, req)| req)
+        self.in_demand.peek().or_else(|| self.in_prefetch.peek())
     }
 
     /// Whether a [`Self::step`] at `now` would change partition state
@@ -173,7 +187,7 @@ impl MemoryPartition {
         if !self.reply_out.is_empty() || !self.pf_reply_out.is_empty() {
             return true; // the GPU drains replies into the networks
         }
-        if self.hit_pipe.front().is_some_and(|&(t, _)| t <= now) {
+        if self.hit_pipe.peek().is_some_and(|&(t, _)| t <= now) {
             return true;
         }
         if !self.wb_q.is_empty() && dram.can_accept() {
@@ -199,7 +213,7 @@ impl MemoryPartition {
     /// queue space, MSHR release) is driven by channel progress, which
     /// the channel's own `next_event` covers.
     pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
-        self.hit_pipe.front().map(|&(t, _)| t).filter(|&t| t > now)
+        self.hit_pipe.peek().map(|&(t, _)| t).filter(|&t| t > now)
     }
 
     /// Account for `delta` skipped quiescent cycles: a stalled input
@@ -212,6 +226,19 @@ impl MemoryPartition {
             );
             self.stats.dram_queue_stalls += delta;
         }
+    }
+
+    /// Occupancy/stall counters aggregated over every port in this
+    /// partition. Host-side reporting only — not part of the
+    /// bit-identity contract.
+    pub fn port_snapshot(&self) -> PortSnapshot {
+        let mut s = self.in_demand.snapshot();
+        s.absorb(self.in_prefetch.snapshot());
+        s.absorb(self.hit_pipe.snapshot());
+        s.absorb(self.reply_out.snapshot());
+        s.absorb(self.pf_reply_out.snapshot());
+        s.absorb(self.wb_q.snapshot());
+        s
     }
 
     /// Service up to one input request, drain the hit pipe, and process
@@ -227,7 +254,7 @@ impl MemoryPartition {
             self.mshr.recycle_waiters(entry.waiters);
             let out = self.l2.fill(req.line, None);
             if let Some(victim) = out.writeback {
-                self.wb_q.push_back(victim);
+                self.wb_q.push(victim);
             }
             if let Some(mut ws) = self.waiters.remove(req.line) {
                 for w in ws.drain(..) {
@@ -237,9 +264,9 @@ impl MemoryPartition {
                         is_prefetch: w.is_prefetch,
                     };
                     if w.is_prefetch {
-                        self.pf_reply_out.push_back(reply);
+                        self.pf_reply_out.push(reply);
                     } else {
-                        self.reply_out.push_back(reply);
+                        self.reply_out.push(reply);
                     }
                 }
                 self.waiter_pool.push(ws);
@@ -249,7 +276,7 @@ impl MemoryPartition {
         // Drain pending write-backs opportunistically (lowest priority
         // at the DRAM queue, batched into row hits by FR-FCFS).
         while !self.wb_q.is_empty() && dram.can_accept() {
-            let line = self.wb_q.pop_front().expect("checked non-empty");
+            let line = self.wb_q.pop().expect("checked non-empty");
             dram.push(DramRequest {
                 line,
                 is_write: true,
@@ -260,15 +287,15 @@ impl MemoryPartition {
         }
 
         // Matured L2 hits become replies.
-        while let Some(&(t, r)) = self.hit_pipe.front() {
+        while let Some(&(t, r)) = self.hit_pipe.peek() {
             if t > now {
                 break;
             }
-            self.hit_pipe.pop_front();
+            self.hit_pipe.pop();
             if r.is_prefetch {
-                self.pf_reply_out.push_back(r);
+                self.pf_reply_out.push(r);
             } else {
-                self.reply_out.push_back(r);
+                self.reply_out.push(r);
             }
         }
 
@@ -279,7 +306,7 @@ impl MemoryPartition {
         } else {
             &self.in_prefetch
         };
-        let Some(&(_, req)) = queue.front() else {
+        let Some(&req) = queue.peek() else {
             return;
         };
         match req.kind {
@@ -290,7 +317,7 @@ impl MemoryPartition {
                 if !self.l2.mark_dirty(req.line) {
                     let out = self.l2.fill_dirty(req.line);
                     if let Some(victim) = out.writeback {
-                        self.wb_q.push_back(victim);
+                        self.wb_q.push(victim);
                     }
                 }
             }
@@ -315,7 +342,7 @@ impl MemoryPartition {
                         self.stats.accesses += 1;
                         self.stats.hits += 1;
                         self.pop_input(from_demand);
-                        self.hit_pipe.push_back((
+                        self.hit_pipe.push((
                             now + self.l2_latency as Cycle,
                             MemReply {
                                 line: req.line,
@@ -413,8 +440,8 @@ mod tests {
             done.clear();
             d.step(now, &mut done);
             p.step(now, d, &done);
-            replies.extend(p.reply_out.drain(..));
-            replies.extend(p.pf_reply_out.drain(..));
+            replies.extend(p.reply_out.drain());
+            replies.extend(p.pf_reply_out.drain());
         }
         replies
     }

@@ -28,6 +28,9 @@ use std::thread::JoinHandle;
 type RawJob = *const (dyn Fn(usize) + Sync);
 
 struct Shared {
+    /// Total parties in a dispatch (helpers + the calling thread);
+    /// the mid-phase barrier waits for exactly this many arrivals.
+    width: usize,
     /// Spin iterations before falling back to yielding, and yields
     /// before parking. On a host with a hardware thread per worker,
     /// generous spinning keeps dispatch latency in the tens of
@@ -41,8 +44,15 @@ struct Shared {
     /// The current job; written by `run` strictly before the epoch bump,
     /// read by workers strictly after observing it (acquire).
     job: UnsafeCell<Option<RawJob>>,
+    /// Second-phase job for [`ShardPool::run2`]: `None` on a one-phase
+    /// dispatch. Written/read under the same epoch protocol as `job`.
+    job2: UnsafeCell<Option<RawJob>>,
     /// Workers that finished the current job.
     done: AtomicUsize,
+    /// Sense-reversing mid-phase barrier for [`ShardPool::run2`]:
+    /// arrivals on the count, generation flips to release waiters.
+    barrier_count: AtomicUsize,
+    barrier_gen: AtomicU64,
     /// Tells workers to exit.
     shutdown: AtomicBool,
     /// Number of workers currently parked on `sleep`.
@@ -84,11 +94,15 @@ impl ShardPool {
             .unwrap_or(1);
         let oversubscribed = helpers + 1 > cores;
         let shared = Arc::new(Shared {
+            width: helpers + 1,
             spins: if oversubscribed { 1 } else { SPINS },
             yields: if oversubscribed { 2 } else { YIELDS },
             epoch: AtomicU64::new(0),
             job: UnsafeCell::new(None),
+            job2: UnsafeCell::new(None),
             done: AtomicUsize::new(0),
+            barrier_count: AtomicUsize::new(0),
+            barrier_gen: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             sleepers: AtomicUsize::new(0),
             sleep: Mutex::new(()),
@@ -130,14 +144,59 @@ impl ShardPool {
                 *const (dyn Fn(usize) + Sync),
                 *const (dyn Fn(usize) + Sync),
             >(f as *const _));
+            *self.shared.job2.get() = None;
         }
+        self.publish_and_wait(|| f(0), helpers);
+    }
+
+    /// Run two phases back to back with ONE internal barrier between
+    /// them: every worker executes `f1(w)`, waits at a sense-reversing
+    /// barrier until all phase-1 work completed, then executes `f2(w)`.
+    /// Returns after all workers finish `f2`. The mid-phase barrier
+    /// gives `f2` a happens-before view of every `f1` write (each
+    /// arrival is an `AcqRel` RMW on the same counter, so the release
+    /// sequence carries all phase-1 writes to every waiter). Compared to
+    /// two [`Self::run`] calls this halves the dispatch + join overhead:
+    /// one epoch publication and one completion wait instead of two.
+    pub fn run2(&self, f1: &(dyn Fn(usize) + Sync), f2: &(dyn Fn(usize) + Sync)) {
+        let helpers = self.handles.len();
+        if helpers == 0 {
+            f1(0);
+            f2(0);
+            return;
+        }
+        // SAFETY: same protocol as `run` — both pointers are published
+        // strictly before the epoch bump and outlive the `done` barrier.
+        unsafe {
+            *self.shared.job.get() = Some(std::mem::transmute::<
+                *const (dyn Fn(usize) + Sync),
+                *const (dyn Fn(usize) + Sync),
+            >(f1 as *const _));
+            *self.shared.job2.get() = Some(std::mem::transmute::<
+                *const (dyn Fn(usize) + Sync),
+                *const (dyn Fn(usize) + Sync),
+            >(f2 as *const _));
+        }
+        self.publish_and_wait(
+            || {
+                f1(0);
+                phase_barrier(&self.shared);
+                f2(0);
+            },
+            helpers,
+        );
+    }
+
+    /// Common dispatch tail: bump the epoch, wake sleepers, run the
+    /// caller's share, then wait for every helper.
+    fn publish_and_wait(&self, caller_share: impl FnOnce(), helpers: usize) {
         self.shared.done.store(0, Ordering::Relaxed);
         self.shared.epoch.fetch_add(1, Ordering::Release);
         if self.shared.sleepers.load(Ordering::Acquire) > 0 {
             let _g = self.shared.sleep.lock().unwrap();
             self.shared.wake.notify_all();
         }
-        f(0);
+        caller_share();
         // Barrier: wait for every helper, yielding on oversubscription.
         let mut spins = 0u32;
         while self.shared.done.load(Ordering::Acquire) < helpers {
@@ -147,6 +206,30 @@ impl ShardPool {
             } else {
                 std::thread::yield_now();
             }
+        }
+    }
+}
+
+/// Sense-reversing barrier for the gap between `run2` phases. The last
+/// arriver resets the count and release-bumps the generation; everyone
+/// else acquire-spins on the generation. Arrivals are `AcqRel` RMWs on
+/// one counter, so the release sequence hands every phase-1 write to
+/// every phase-2 worker.
+fn phase_barrier(shared: &Shared) {
+    let gen = shared.barrier_gen.load(Ordering::Acquire);
+    let arrived = shared.barrier_count.fetch_add(1, Ordering::AcqRel) + 1;
+    if arrived == shared.width {
+        shared.barrier_count.store(0, Ordering::Relaxed);
+        shared.barrier_gen.fetch_add(1, Ordering::Release);
+        return;
+    }
+    let mut spins = 0u32;
+    while shared.barrier_gen.load(Ordering::Acquire) == gen {
+        spins += 1;
+        if spins < shared.spins {
+            std::hint::spin_loop();
+        } else {
+            std::thread::yield_now();
         }
     }
 }
@@ -204,6 +287,14 @@ fn worker_loop(shared: &Shared, index: usize) {
         let job = unsafe { (*shared.job.get()).expect("published epoch carries a job") };
         let f = unsafe { &*job };
         f(index);
+        // Two-phase dispatch: rendezvous, then run the second closure.
+        // `job2` was written before the epoch bump, so the acquire above
+        // covers this read too.
+        if let Some(job2) = unsafe { *shared.job2.get() } {
+            phase_barrier(shared);
+            let g = unsafe { &*job2 };
+            g(index);
+        }
         shared.done.fetch_add(1, Ordering::Release);
     }
 }
@@ -258,6 +349,95 @@ mod tests {
             x.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(x.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn run2_executes_both_phases_once_per_worker() {
+        let pool = ShardPool::new(3);
+        let p1: Vec<AtomicU32> = (0..4).map(|_| AtomicU32::new(0)).collect();
+        let p2: Vec<AtomicU32> = (0..4).map(|_| AtomicU32::new(0)).collect();
+        for _ in 0..200 {
+            pool.run2(
+                &|w| {
+                    p1[w].fetch_add(1, Ordering::Relaxed);
+                },
+                &|w| {
+                    p2[w].fetch_add(1, Ordering::Relaxed);
+                },
+            );
+        }
+        for w in 0..4 {
+            assert_eq!(p1[w].load(Ordering::Relaxed), 200, "phase 1 worker {w}");
+            assert_eq!(p2[w].load(Ordering::Relaxed), 200, "phase 2 worker {w}");
+        }
+    }
+
+    #[test]
+    fn run2_barrier_publishes_phase1_writes_to_phase2() {
+        // Every phase-2 worker must see ALL phase-1 writes, not just its
+        // own shard's — that is the whole point of the mid-phase barrier
+        // (phase 3 reads every shard's staging ring).
+        let pool = ShardPool::new(3);
+        let width = pool.width();
+        let mut staged = vec![0u64; width];
+        let mut sums = vec![0u64; width];
+        for round in 1..=100u64 {
+            let staged_base = staged.as_mut_ptr() as usize;
+            let sums_base = sums.as_mut_ptr() as usize;
+            pool.run2(
+                &move |w| {
+                    let p = staged_base as *mut u64;
+                    unsafe { *p.add(w) = round * (w as u64 + 1) };
+                },
+                &move |w| {
+                    let p = staged_base as *const u64;
+                    let total: u64 = (0..width).map(|i| unsafe { *p.add(i) }).sum();
+                    let s = sums_base as *mut u64;
+                    unsafe { *s.add(w) = total };
+                },
+            );
+            let expect: u64 = (0..width as u64).map(|i| round * (i + 1)).sum();
+            for (w, &s) in sums.iter().enumerate() {
+                assert_eq!(s, expect, "worker {w} round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn run2_zero_helper_pool_runs_phases_inline() {
+        let pool = ShardPool::new(0);
+        let order = std::sync::Mutex::new(Vec::new());
+        pool.run2(
+            &|w| order.lock().unwrap().push((1, w)),
+            &|w| order.lock().unwrap().push((2, w)),
+        );
+        assert_eq!(*order.lock().unwrap(), vec![(1, 0), (2, 0)]);
+    }
+
+    #[test]
+    fn run_and_run2_interleave_cleanly() {
+        // A one-phase dispatch must blank job2 so workers do not wait at
+        // a barrier nobody else will reach.
+        let pool = ShardPool::new(2);
+        let count = AtomicU32::new(0);
+        for i in 0..50 {
+            if i % 2 == 0 {
+                pool.run2(
+                    &|_| {
+                        count.fetch_add(1, Ordering::Relaxed);
+                    },
+                    &|_| {
+                        count.fetch_add(1, Ordering::Relaxed);
+                    },
+                );
+            } else {
+                pool.run(&|_| {
+                    count.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        }
+        // 25 run2 dispatches × 3 workers × 2 phases + 25 run × 3.
+        assert_eq!(count.load(Ordering::Relaxed), 25 * 3 * 2 + 25 * 3);
     }
 
     #[test]

@@ -6,8 +6,6 @@
 //! only on otherwise idle port cycles (lower priority, §V) — and (c)
 //! issues one warp instruction chosen by the warp scheduler.
 
-use std::collections::VecDeque;
-
 use crate::cache::{Cache, Lookup, PrefetchProvenance};
 use crate::coalescer::coalesce;
 use crate::config::GpuConfig;
@@ -17,6 +15,7 @@ use crate::isa::Op;
 use crate::kernel::Kernel;
 use crate::linemap::LineMap;
 use crate::mshr::{MshrFile, MshrOutcome, PrefetchTag, Waiter};
+use crate::port::{Port, PortSnapshot};
 use crate::prefetch::{DemandObservation, PrefetchRequest, Prefetcher};
 use crate::sched::WarpScheduler;
 use crate::stats::Stats;
@@ -56,18 +55,22 @@ pub struct Sm {
     prefetcher: Box<dyn Prefetcher>,
     l1d: Cache,
     mshr: MshrFile,
-    mem_q: VecDeque<MemInst>,
-    /// (enqueue cycle, request) — aged out after `prefetch_max_age`.
-    pf_q: VecDeque<(Cycle, PrefetchRequest)>,
+    /// LD/ST instruction queue; its credit count is the structural
+    /// hazard the issue stage checks (`ldst_queue_depth`).
+    mem_q: Port<MemInst>,
+    /// (enqueue cycle, request) — aged out after `prefetch_max_age`;
+    /// drop-oldest at the credit limit.
+    pf_q: Port<(Cycle, PrefetchRequest)>,
     /// Prefetch lines currently in flight to memory.
     pf_inflight: LineMap<PfInflight>,
     /// Outbound demand/store requests, drained by the GPU at the
-    /// interconnect injection bandwidth.
-    pub inject_q: VecDeque<MemRequest>,
+    /// interconnect injection bandwidth. Exhausted credits are the LD/ST
+    /// unit's outbound backpressure.
+    pub inject_q: Port<MemRequest>,
     /// Outbound prefetch requests — injected only when no demand request
     /// is waiting (lower priority, §V).
-    pub pf_inject_q: VecDeque<MemRequest>,
-    hit_pipe: VecDeque<(Cycle, WarpSlot)>,
+    pub pf_inject_q: Port<MemRequest>,
+    hit_pipe: Port<(Cycle, WarpSlot)>,
     /// Per-SM statistics (merged by the GPU at the end of a run).
     pub stats: Stats,
     scratch_lines: Vec<Addr>,
@@ -123,12 +126,12 @@ impl Sm {
             prefetcher,
             l1d: Cache::new(cfg.l1d),
             mshr: MshrFile::new(cfg.l1d.mshr_entries as usize, cfg.l1d.mshr_merge as usize),
-            mem_q: VecDeque::new(),
-            pf_q: VecDeque::new(),
+            mem_q: Port::new(cfg.ldst_queue_depth),
+            pf_q: Port::new(cfg.prefetch_queue_depth),
             pf_inflight: LineMap::with_capacity(cfg.prefetch_queue_depth),
-            inject_q: VecDeque::new(),
-            pf_inject_q: VecDeque::new(),
-            hit_pipe: VecDeque::new(),
+            inject_q: Port::new(cfg.ldst_queue_depth * 4),
+            pf_inject_q: Port::new(cfg.ldst_queue_depth * 4),
+            hit_pipe: Port::new(cfg.l1d.hit_latency as usize + 1),
             stats: Stats::default(),
             scratch_lines: Vec::with_capacity(32),
             pf_scratch: Vec::with_capacity(64),
@@ -185,9 +188,18 @@ impl Sm {
     /// Next outbound request for the interconnect; demands and stores
     /// strictly precede prefetches.
     pub fn pop_outbound(&mut self) -> Option<MemRequest> {
-        self.inject_q
-            .pop_front()
-            .or_else(|| self.pf_inject_q.pop_front())
+        self.inject_q.pop().or_else(|| self.pf_inject_q.pop())
+    }
+
+    /// Occupancy/stall counters aggregated over every port in this SM.
+    /// Host-side reporting only — not part of the bit-identity contract.
+    pub fn port_snapshot(&self) -> PortSnapshot {
+        let mut s = self.mem_q.snapshot();
+        s.absorb(self.pf_q.snapshot());
+        s.absorb(self.inject_q.snapshot());
+        s.absorb(self.pf_inject_q.snapshot());
+        s.absorb(self.hit_pipe.snapshot());
+        s
     }
 
     /// Launch a CTA into a free slot. Panics when no slot is free (the
@@ -283,7 +295,7 @@ impl Sm {
     /// GPU-level probe checks via the first arm).
     pub fn can_progress(&self, now: Cycle, kernel: &Kernel) -> bool {
         // A matured L1 hit completes a load.
-        if self.hit_pipe.front().is_some_and(|&(t, _)| t <= now) {
+        if self.hit_pipe.peek().is_some_and(|&(t, _)| t <= now) {
             return true;
         }
         // Outbound traffic: the GPU drains these into the request
@@ -295,7 +307,7 @@ impl Sm {
         // backpressure arms cannot fire: a store head always advances,
         // and a load head advances unless its sole recourse is an MSHR
         // reservation that fails.
-        if let Some(inst) = self.mem_q.front() {
+        if let Some(inst) = self.mem_q.peek() {
             if inst.is_store {
                 return true;
             }
@@ -311,7 +323,7 @@ impl Sm {
         // Prefetch port: the head ages out, drops as redundant, or
         // issues (`pf_inject_q` is empty here, so only the in-flight
         // cap can block it).
-        if let Some(&(t, ref req)) = self.pf_q.front() {
+        if let Some(&(t, ref req)) = self.pf_q.peek() {
             if now.saturating_sub(t) > self.cfg.prefetch_max_age as Cycle
                 || self.l1d.probe(req.line)
                 || self.mshr.contains(req.line)
@@ -324,7 +336,7 @@ impl Sm {
         // Issue stage: any schedulable warp. The closure is the same
         // predicate `issue_cycle` hands to `pick`.
         if self.active_warps > 0 {
-            let mem_q_open = self.mem_q.len() < self.cfg.ldst_queue_depth;
+            let mem_q_open = self.mem_q.credits() > 0;
             let warps = &self.warps;
             let issuable_at = &self.issuable_at;
             let program = &kernel.program;
@@ -344,7 +356,7 @@ impl Sm {
     pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
         let hit = self
             .hit_pipe
-            .front()
+            .peek()
             .map(|&(t, _)| t)
             .filter(|&t| t > now);
         // Execution-latency timers on Ready warps (over-approximation:
@@ -354,7 +366,7 @@ impl Sm {
         // exceeds `prefetch_max_age`.
         let pf_age = self
             .pf_q
-            .front()
+            .peek()
             .map(|&(t, _)| t + self.cfg.prefetch_max_age as Cycle + 1);
         [hit, wake, pf_age].into_iter().flatten().min()
     }
@@ -378,11 +390,11 @@ impl Sm {
     }
 
     fn mature_hits(&mut self, now: Cycle) {
-        while let Some(&(t, w)) = self.hit_pipe.front() {
+        while let Some(&(t, w)) = self.hit_pipe.peek() {
             if t > now {
                 break;
             }
-            self.hit_pipe.pop_front();
+            self.hit_pipe.pop();
             self.complete_load(w);
         }
     }
@@ -403,7 +415,7 @@ impl Sm {
     }
 
     fn demand_port_cycle(&mut self, now: Cycle) {
-        let Some(inst) = self.mem_q.front_mut() else {
+        let Some(inst) = self.mem_q.peek_mut() else {
             return;
         };
         let line = inst.lines[inst.next];
@@ -411,7 +423,8 @@ impl Sm {
         let is_store = inst.is_store;
 
         if is_store {
-            if self.inject_q.len() >= self.cfg.ldst_queue_depth * 4 {
+            if self.inject_q.credits() == 0 {
+                self.inject_q.note_stall();
                 return; // outbound backpressure; retry
             }
             // Write-evict, no-allocate: drop a stale copy.
@@ -433,7 +446,7 @@ impl Sm {
         if self.stall_memo == Some(line) {
             if !self.pf_inflight.contains(line)
                 && (self.mshr.contains(line)
-                    || self.inject_q.len() >= self.cfg.ldst_queue_depth * 4
+                    || self.inject_q.credits() == 0
                     || self.mshr.free() == 0)
             {
                 self.stats.l1d_reservation_fails += 1;
@@ -454,7 +467,7 @@ impl Sm {
                     self.stats.prefetch_distance_count += 1;
                 }
                 self.hit_pipe
-                    .push_back((now + self.cfg.l1d.hit_latency as Cycle, warp));
+                    .push((now + self.cfg.l1d.hit_latency as Cycle, warp));
                 self.advance_mem_inst();
             }
             Lookup::Miss => {
@@ -471,7 +484,8 @@ impl Sm {
                     return;
                 }
                 let will_allocate = !self.mshr.contains(line);
-                if will_allocate && self.inject_q.len() >= self.cfg.ldst_queue_depth * 4 {
+                if will_allocate && self.inject_q.credits() == 0 {
+                    self.inject_q.note_stall();
                     self.stats.l1d_reservation_fails += 1;
                     self.stall_memo = Some(line);
                     return;
@@ -509,10 +523,10 @@ impl Sm {
     }
 
     fn advance_mem_inst(&mut self) {
-        let inst = self.mem_q.front_mut().expect("advance on empty queue");
+        let inst = self.mem_q.peek_mut().expect("advance on empty queue");
         inst.next += 1;
         if inst.next == inst.lines.len() {
-            let inst = self.mem_q.pop_front().expect("checked non-empty");
+            let inst = self.mem_q.pop().expect("checked non-empty");
             self.line_pool.push(inst.lines);
         }
     }
@@ -530,14 +544,14 @@ impl Sm {
     fn prefetch_port_cycle(&mut self, now: Cycle) -> bool {
         // Age out stale requests: their demand window has passed and
         // issuing them would only pollute the cache.
-        while let Some(&(t, _)) = self.pf_q.front() {
+        while let Some(&(t, _)) = self.pf_q.peek() {
             if now.saturating_sub(t) <= self.cfg.prefetch_max_age as Cycle {
                 break;
             }
-            self.pf_q.pop_front();
+            self.pf_q.pop();
             self.stats.prefetch_dropped += 1;
         }
-        let Some(&(_, req)) = self.pf_q.front() else {
+        let Some(&(_, req)) = self.pf_q.peek() else {
             return false;
         };
         // Redundant: already cached, already demanded (MSHR), or already
@@ -546,16 +560,18 @@ impl Sm {
             || self.mshr.contains(req.line)
             || self.pf_inflight.contains(req.line)
         {
-            self.pf_q.pop_front();
+            self.pf_q.pop();
             self.stats.prefetch_dropped += 1;
             return true;
         }
-        if self.pf_inject_q.len() >= self.cfg.ldst_queue_depth * 4
-            || self.pf_inflight.len() >= self.cfg.prefetch_queue_depth
-        {
+        if self.pf_inject_q.credits() == 0 {
+            self.pf_inject_q.note_stall();
             return false; // backpressure; retry later
         }
-        self.pf_q.pop_front();
+        if self.pf_inflight.len() >= self.cfg.prefetch_queue_depth {
+            return false; // in-flight cap; retry later
+        }
+        self.pf_q.pop();
         let tag = PrefetchTag {
             target_warp: req.target_warp,
             pc: req.pc,
@@ -581,9 +597,9 @@ impl Sm {
             sm: self.id,
         };
         if kind.is_prefetch() {
-            self.pf_inject_q.push_back(req);
+            self.pf_inject_q.push(req);
         } else {
-            self.inject_q.push_back(req);
+            self.inject_q.push(req);
         }
     }
 
@@ -593,13 +609,13 @@ impl Sm {
                 self.stats.prefetch_dropped += 1;
                 continue;
             }
-            if self.pf_q.len() >= self.cfg.prefetch_queue_depth {
+            if self.pf_q.credits() == 0 {
                 // Drop the *oldest* queued request: newer predictions
                 // have a live demand window, old ones are going stale.
-                self.pf_q.pop_front();
+                self.pf_q.pop();
                 self.stats.prefetch_dropped += 1;
             }
-            self.pf_q.push_back((now, req));
+            self.pf_q.push((now, req));
         }
     }
 
@@ -607,7 +623,7 @@ impl Sm {
         if self.active_warps == 0 {
             return;
         }
-        let mem_q_open = self.mem_q.len() < self.cfg.ldst_queue_depth;
+        let mem_q_open = self.mem_q.credits() > 0;
         let warps = &self.warps;
         let issuable_at = &self.issuable_at;
         let program = &kernel.program;
@@ -684,7 +700,7 @@ impl Sm {
                 warp.pc += 1;
                 self.stats.warp_instructions += 1;
                 let lines = self.take_lines();
-                self.mem_q.push_back(MemInst {
+                self.mem_q.push(MemInst {
                     warp: w,
                     is_store: false,
                     lines,
@@ -726,7 +742,7 @@ impl Sm {
                 self.warps[w].pc += 1;
                 self.stats.warp_instructions += 1;
                 let lines = self.take_lines();
-                self.mem_q.push_back(MemInst {
+                self.mem_q.push(MemInst {
                     warp: w,
                     is_store: true,
                     lines,
@@ -865,6 +881,7 @@ mod tests {
     /// Drive the SM standalone, servicing its memory requests with a
     /// fixed-latency loopback memory.
     fn run_to_completion(sm: &mut Sm, kernel: &Kernel, mem_latency: Cycle) -> (Cycle, usize) {
+        use std::collections::VecDeque;
         let mut completed = Vec::new();
         let mut inflight: VecDeque<(Cycle, Addr)> = VecDeque::new();
         let mut now = 0;
@@ -877,7 +894,7 @@ mod tests {
                 sm.on_fill(now, line);
             }
             sm.step(now, kernel, &mut completed);
-            while let Some(req) = sm.inject_q.pop_front() {
+            while let Some(req) = sm.inject_q.pop() {
                 if req.kind != AccessKind::Store {
                     inflight.push_back((now + mem_latency, req.line));
                 }
@@ -1027,6 +1044,7 @@ mod tests {
     }
 
     fn run_with_prefetcher(s: &mut Sm, kernel: &Kernel, mem_latency: Cycle) -> (Cycle, usize) {
+        use std::collections::VecDeque;
         let mut completed = Vec::new();
         let mut inflight: VecDeque<(Cycle, Addr)> = VecDeque::new();
         let mut now = 0;

@@ -6,6 +6,55 @@
 //! prefetch-to-demand distance (Fig. 14), and the activity counts the
 //! energy model consumes (Fig. 15).
 
+use crate::port::PortSnapshot;
+
+/// Per-subsystem port/link occupancy and backpressure report for one
+/// run: ring high-water marks, credit-stall counts, and growth-valve
+/// activations, aggregated per subsystem by [`crate::gpu::Gpu::link_report`].
+///
+/// Deliberately **not** part of [`Stats`] and exempt from the
+/// bit-identity contract: event-horizon fast-forward elides the cycles a
+/// stalled producer would have spent retrying, so credit-stall counts
+/// legitimately differ between the naive and fast engines even though
+/// every architectural statistic matches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkReport {
+    /// Demand request network (SM → partition crossbar links).
+    pub req_net: PortSnapshot,
+    /// Prefetch request network (low-priority virtual channel).
+    pub pf_req_net: PortSnapshot,
+    /// Demand reply network (partition → SM).
+    pub reply_net: PortSnapshot,
+    /// Prefetch reply network.
+    pub pf_reply_net: PortSnapshot,
+    /// All SM-side ports: memory queue, prefetch queue, outbound
+    /// injection queues, L1 hit pipe.
+    pub sm_ports: PortSnapshot,
+    /// All partition-side ports: input queues, L2 hit pipe, reply
+    /// queues, writeback queue.
+    pub partition_ports: PortSnapshot,
+    /// DRAM channel FR-FCFS request queues.
+    pub dram_queues: PortSnapshot,
+    /// Fused-injection staging rings (phase-1 → phase-2 hand-off).
+    pub staging: PortSnapshot,
+}
+
+impl LinkReport {
+    /// Fold every subsystem into one summary: max of high-water marks,
+    /// sums of credit stalls and growth-valve activations.
+    pub fn total(&self) -> PortSnapshot {
+        let mut t = self.req_net;
+        t.absorb(self.pf_req_net);
+        t.absorb(self.reply_net);
+        t.absorb(self.pf_reply_net);
+        t.absorb(self.sm_ports);
+        t.absorb(self.partition_ports);
+        t.absorb(self.dram_queues);
+        t.absorb(self.staging);
+        t
+    }
+}
+
 /// Aggregate counters for one simulation run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Stats {

@@ -66,7 +66,7 @@ proptest! {
         latency in 0u32..40,
         depth in 1usize..8,
     ) {
-        let mut net: Network<(usize, usize)> = Network::new(4, latency, depth, 1);
+        let mut net: Network<(usize, usize)> = Network::new(4, latency, depth, 1, 8);
         let mut sent: Vec<Vec<usize>> = vec![Vec::new(); 4];
         let mut got: Vec<Vec<usize>> = vec![Vec::new(); 4];
         let mut now = 0u64;
@@ -127,7 +127,7 @@ proptest! {
             done.clear();
             d.step(now, &mut done);
             p.step(now, &mut d, &done);
-            while let Some(r) = p.reply_out.pop_front() {
+            while let Some(r) = p.reply_out.pop() {
                 replies.push((r.line, r.sm));
             }
             now += 1;

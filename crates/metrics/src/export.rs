@@ -10,7 +10,8 @@
 use std::io::Write as _;
 use std::path::Path;
 
-use caps_gpu_sim::stats::Stats;
+use caps_gpu_sim::port::PortSnapshot;
+use caps_gpu_sim::stats::{LinkReport, Stats};
 use caps_json::{obj, Error, Value};
 
 use crate::energy::EnergyBreakdown;
@@ -105,12 +106,65 @@ fn energy_from_value(v: &Value) -> Result<EnergyBreakdown, Error> {
     Ok(e)
 }
 
+/// Apply a macro to every `LinkReport` subsystem (all [`PortSnapshot`]).
+macro_rules! for_each_link_field {
+    ($m:ident) => {
+        $m!(
+            req_net,
+            pf_req_net,
+            reply_net,
+            pf_reply_net,
+            sm_ports,
+            partition_ports,
+            dram_queues,
+            staging
+        )
+    };
+}
+
+fn snapshot_to_value(s: &PortSnapshot) -> Value {
+    obj(vec![
+        ("high_water", Value::UInt(s.high_water as u64)),
+        ("credit_stalls", Value::UInt(s.credit_stalls)),
+        ("grows", Value::UInt(s.grows)),
+    ])
+}
+
+fn snapshot_from_value(v: &Value) -> Result<PortSnapshot, Error> {
+    Ok(PortSnapshot {
+        high_water: v.require("high_water")?.as_u64()? as usize,
+        credit_stalls: v.require("credit_stalls")?.as_u64()?,
+        grows: v.require("grows")?.as_u64()?,
+    })
+}
+
+fn links_to_value(l: &LinkReport) -> Value {
+    macro_rules! emit {
+        ($($f:ident),*) => {
+            obj(vec![$((stringify!($f), snapshot_to_value(&l.$f)),)*])
+        };
+    }
+    for_each_link_field!(emit)
+}
+
+fn links_from_value(v: &Value) -> Result<LinkReport, Error> {
+    let mut l = LinkReport::default();
+    macro_rules! read {
+        ($($f:ident),*) => {
+            $(l.$f = snapshot_from_value(v.require(stringify!($f))?)?;)*
+        };
+    }
+    for_each_link_field!(read);
+    Ok(l)
+}
+
 fn record_to_value(r: &RunRecord) -> Value {
     obj(vec![
         ("workload", Value::Str(r.workload.clone())),
         ("engine", Value::Str(r.engine.clone())),
         ("stats", stats_to_value(&r.stats)),
         ("energy", energy_to_value(&r.energy)),
+        ("links", links_to_value(&r.links)),
     ])
 }
 
@@ -120,6 +174,11 @@ fn record_from_value(v: &Value) -> Result<RunRecord, Error> {
         engine: v.require("engine")?.as_str()?.to_string(),
         stats: stats_from_value(v.require("stats")?)?,
         energy: energy_from_value(v.require("energy")?)?,
+        // Absent in records archived before the port layer existed.
+        links: match v.get("links") {
+            Some(lv) => links_from_value(lv)?,
+            None => LinkReport::default(),
+        },
     })
 }
 

@@ -14,7 +14,7 @@ use std::sync::Mutex;
 
 use caps_gpu_sim::config::GpuConfig;
 use caps_gpu_sim::gpu::Gpu;
-use caps_gpu_sim::stats::Stats;
+use caps_gpu_sim::stats::{LinkReport, Stats};
 use caps_workloads::{Scale, Workload};
 
 use crate::energy::{EnergyBreakdown, EnergyModel};
@@ -66,6 +66,10 @@ pub struct RunRecord {
     pub stats: Stats,
     /// Energy breakdown under the default model.
     pub energy: EnergyBreakdown,
+    /// Port/link occupancy and backpressure summary (host-side
+    /// observability; exempt from the bit-identity contract, unlike
+    /// `stats`).
+    pub links: LinkReport,
 }
 
 impl RunRecord {
@@ -135,6 +139,7 @@ pub fn run_one_with_opts(spec: &RunSpec, opts: &RunOpts) -> RunRecord {
         engine: spec.engine.label().to_string(),
         stats,
         energy,
+        links: gpu.link_report(),
     }
 }
 

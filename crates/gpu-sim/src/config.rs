@@ -310,6 +310,87 @@ impl Default for GpuConfig {
     }
 }
 
+// --- content hashing (sweep-farm result cache keys) -------------------
+//
+// Every field that can change a run's statistics is streamed, in
+// declaration order, with enum variants tagged. The digest property
+// suite in `caps-metrics` flips each field one at a time and asserts the
+// key moves; extend these impls (and that test) together with the
+// struct.
+
+use crate::digest::{Digest, Hashable};
+
+impl Hashable for SchedulerKind {
+    fn digest_into(&self, d: &mut Digest) {
+        d.write_tag(match self {
+            SchedulerKind::Lrr => 0,
+            SchedulerKind::Gto => 1,
+            SchedulerKind::PasGto => 2,
+            SchedulerKind::TwoLevel => 3,
+            SchedulerKind::Pas => 4,
+            SchedulerKind::PasNoWakeup => 5,
+            SchedulerKind::OrchGrouped => 6,
+        });
+    }
+}
+
+impl Hashable for CacheConfig {
+    fn digest_into(&self, d: &mut Digest) {
+        d.write_u32(self.size_bytes);
+        d.write_u32(self.line_size);
+        d.write_u32(self.assoc);
+        d.write_u32(self.mshr_entries);
+        d.write_u32(self.mshr_merge);
+        d.write_u32(self.hit_latency);
+    }
+}
+
+impl Hashable for DramTiming {
+    fn digest_into(&self, d: &mut Digest) {
+        for v in [
+            self.t_cl,
+            self.t_rp,
+            self.t_rc,
+            self.t_ras,
+            self.t_rcd,
+            self.t_rrd,
+            self.t_cdlr,
+            self.t_wr,
+            self.t_burst,
+        ] {
+            d.write_u32(v);
+        }
+    }
+}
+
+impl Hashable for GpuConfig {
+    fn digest_into(&self, d: &mut Digest) {
+        d.write_usize(self.num_sms);
+        d.write_u32(self.simt_width);
+        d.write_usize(self.max_warps_per_sm);
+        d.write_usize(self.max_ctas_per_sm);
+        self.scheduler.digest_into(d);
+        d.write_usize(self.ready_queue_size);
+        self.l1d.digest_into(d);
+        self.l2.digest_into(d);
+        d.write_usize(self.num_partitions);
+        d.write_usize(self.num_dram_channels);
+        d.write_usize(self.dram_banks);
+        d.write_usize(self.dram_queue_entries);
+        self.dram_timing.digest_into(d);
+        d.write_u32(self.core_clock_mhz);
+        d.write_u32(self.dram_clock_mhz);
+        d.write_u32(self.icnt_latency);
+        d.write_u32(self.icnt_bandwidth);
+        d.write_usize(self.icnt_queue_depth);
+        d.write_u32(self.issue_width);
+        d.write_usize(self.ldst_queue_depth);
+        d.write_usize(self.prefetch_queue_depth);
+        d.write_u32(self.prefetch_issue_per_cycle);
+        d.write_u32(self.prefetch_max_age);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -389,6 +470,19 @@ mod tests {
         let mut c = GpuConfig::fermi_gtx480();
         c.max_ctas_per_sm = 100;
         c.validate();
+    }
+
+    #[test]
+    fn config_digest_is_stable_and_field_sensitive() {
+        use crate::digest::fingerprint;
+        let base = GpuConfig::fermi_gtx480();
+        assert_eq!(fingerprint(&base), fingerprint(&base.clone()));
+        let mut c = base.clone();
+        c.dram_timing.t_burst += 1;
+        assert_ne!(fingerprint(&base), fingerprint(&c), "nested timing field");
+        let mut c = base.clone();
+        c.scheduler = SchedulerKind::Gto;
+        assert_ne!(fingerprint(&base), fingerprint(&c), "scheduler variant");
     }
 
     #[test]

@@ -361,6 +361,119 @@ impl Program {
     }
 }
 
+// --- content hashing (sweep-farm result cache keys) -------------------
+//
+// The kernel IR is the largest variable-length part of a run's identity;
+// every op is framed with a variant tag and the op list with its length,
+// so no two distinct programs share a byte stream.
+
+use crate::digest::{Digest, Hashable};
+
+impl Hashable for CtaTerm {
+    fn digest_into(&self, d: &mut Digest) {
+        match *self {
+            CtaTerm::Linear { pitch } => {
+                d.write_tag(0);
+                d.write_i64(pitch);
+            }
+            CtaTerm::Surface2D { x_pitch, y_pitch } => {
+                d.write_tag(1);
+                d.write_i64(x_pitch);
+                d.write_i64(y_pitch);
+            }
+        }
+    }
+}
+
+impl Hashable for AffinePattern {
+    fn digest_into(&self, d: &mut Digest) {
+        d.write_u64(self.base);
+        self.cta_term.digest_into(d);
+        d.write_i64(self.warp_stride);
+        d.write_i64(self.lane_stride);
+        d.write_i64(self.iter_stride);
+    }
+}
+
+impl Hashable for IndirectPattern {
+    fn digest_into(&self, d: &mut Digest) {
+        d.write_u64(self.region_base);
+        d.write_u64(self.region_len);
+        d.write_u64(self.salt);
+    }
+}
+
+impl Hashable for AddrPattern {
+    fn digest_into(&self, d: &mut Digest) {
+        match self {
+            AddrPattern::Affine(p) => {
+                d.write_tag(0);
+                p.digest_into(d);
+            }
+            AddrPattern::Indirect(p) => {
+                d.write_tag(1);
+                p.digest_into(d);
+            }
+        }
+    }
+}
+
+impl Hashable for Op {
+    fn digest_into(&self, d: &mut Digest) {
+        match *self {
+            Op::Alu { cycles } => {
+                d.write_tag(0);
+                d.write_u32(cycles);
+            }
+            Op::Ld {
+                pc,
+                pattern,
+                active_lanes,
+            } => {
+                d.write_tag(1);
+                d.write_u32(pc);
+                pattern.digest_into(d);
+                d.write_u32(active_lanes);
+            }
+            Op::St {
+                pc,
+                pattern,
+                active_lanes,
+            } => {
+                d.write_tag(2);
+                d.write_u32(pc);
+                pattern.digest_into(d);
+                d.write_u32(active_lanes);
+            }
+            Op::WaitLoads => d.write_tag(3),
+            Op::LoopBegin { iters, end } => {
+                d.write_tag(4);
+                d.write_u32(iters);
+                d.write_usize(end);
+            }
+            Op::LoopEnd { start } => {
+                d.write_tag(5);
+                d.write_usize(start);
+            }
+            Op::Barrier => d.write_tag(6),
+            Op::SkipIf { modulo, len } => {
+                d.write_tag(7);
+                d.write_u32(modulo);
+                d.write_usize(len);
+            }
+        }
+    }
+}
+
+impl Hashable for Program {
+    fn digest_into(&self, d: &mut Digest) {
+        d.write_usize(self.ops.len());
+        for op in &self.ops {
+            op.digest_into(d);
+        }
+    }
+}
+
 /// Fluent builder for [`Program`] that assigns PCs and closes loops.
 #[derive(Debug, Default)]
 pub struct ProgramBuilder {

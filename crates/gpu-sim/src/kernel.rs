@@ -80,6 +80,20 @@ impl Kernel {
     }
 }
 
+// --- content hashing (sweep-farm result cache keys) -------------------
+
+use crate::digest::{Digest, Hashable};
+
+impl Hashable for Kernel {
+    fn digest_into(&self, d: &mut Digest) {
+        d.write_str(&self.name);
+        d.write_u32(self.grid_dim.0);
+        d.write_u32(self.grid_dim.1);
+        d.write_u32(self.threads_per_cta);
+        self.program.digest_into(d);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -103,6 +117,30 @@ mod tests {
         assert_eq!(k.total_warps(32), 128);
         let c = k.cta_coord(9);
         assert_eq!((c.x, c.y), (1, 1));
+    }
+
+    #[test]
+    fn kernel_digest_sees_geometry_and_ir() {
+        use crate::digest::fingerprint;
+        let k = Kernel::new("t", (8, 4), 128, prog());
+        assert_eq!(fingerprint(&k), fingerprint(&k.clone()));
+        let mut g = k.clone();
+        g.grid_dim = (4, 8); // same CTA count, different shape
+        assert_ne!(fingerprint(&k), fingerprint(&g));
+        let with_alu = Kernel::new(
+            "t",
+            (8, 4),
+            128,
+            ProgramBuilder::new()
+                .alu(1)
+                .ld(AddrPattern::Affine(AffinePattern::dense(
+                    0,
+                    CtaTerm::Linear { pitch: 4096 },
+                )))
+                .wait()
+                .build(),
+        );
+        assert_ne!(fingerprint(&k), fingerprint(&with_alu));
     }
 
     #[test]

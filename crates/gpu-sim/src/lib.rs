@@ -46,6 +46,7 @@ pub mod coalescer;
 pub mod config;
 pub mod cta;
 pub mod cta_scheduler;
+pub mod digest;
 pub mod dram;
 pub mod gpu;
 pub mod interconnect;
@@ -67,6 +68,7 @@ pub mod warp;
 /// Commonly used items re-exported in one place.
 pub mod prelude {
     pub use crate::config::{CacheConfig, DramTiming, GpuConfig, SchedulerKind};
+    pub use crate::digest::{fingerprint, Digest, Hashable};
     pub use crate::gpu::Gpu;
     pub use crate::isa::{
         AddrPattern, AffinePattern, CtaTerm, IndirectPattern, Op, Program, ProgramBuilder,

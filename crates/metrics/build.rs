@@ -1,0 +1,61 @@
+//! Build-time source fingerprint for the sweep-farm result cache.
+//!
+//! Cached `RunRecord`s are only valid for the simulator build that
+//! produced them: a change anywhere in the simulation stack (gpu-sim,
+//! the CAP implementation, the baseline prefetchers, the workload IR, or
+//! the metrics/energy layer itself) can change results without changing
+//! any `GpuConfig` field, so no structural digest can catch it. This
+//! script folds every `.rs` source of those crates into an FNV-1a
+//! fingerprint and bakes it into the binary as `CAPS_SIM_FINGERPRINT`;
+//! the cache salts every content key with it, so entries written by a
+//! different build simply never hit — no manual version bump to forget.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Crates whose source can influence a run's statistics or energy.
+const SIM_CRATES: &[&str] = &["gpu-sim", "core", "prefetchers", "workloads", "metrics"];
+
+fn collect(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn main() {
+    let manifest = std::env::var("CARGO_MANIFEST_DIR").expect("CARGO_MANIFEST_DIR");
+    let crates_root = Path::new(&manifest).parent().expect("crates/").to_path_buf();
+
+    let mut files = Vec::new();
+    for krate in SIM_CRATES {
+        let src = crates_root.join(krate).join("src");
+        println!("cargo:rerun-if-changed={}", src.display());
+        collect(&src, &mut files);
+    }
+    files.sort();
+
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut absorb = |bytes: &[u8]| {
+        for &b in bytes {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for f in &files {
+        // Hash the path relative to crates/ so out-of-tree checkouts of
+        // identical source agree on the fingerprint.
+        let rel = f.strip_prefix(&crates_root).unwrap_or(f);
+        absorb(rel.to_string_lossy().as_bytes());
+        absorb(&[0]);
+        absorb(&fs::read(f).unwrap_or_default());
+        println!("cargo:rerun-if-changed={}", f.display());
+    }
+    println!("cargo:rustc-env=CAPS_SIM_FINGERPRINT={h:016x}");
+}

@@ -1,0 +1,359 @@
+//! Persistent content-addressed result cache.
+//!
+//! Every run is keyed by a [`Digest`] over the complete run identity —
+//! engine variant, workload, scale, full [`GpuConfig`], the materialized
+//! kernel IR, and the effective cycle ceiling — salted with the build's
+//! simulator-source fingerprint (`CAPS_SIM_FINGERPRINT`, computed by
+//! `build.rs`) and the cache schema version. Two consequences:
+//!
+//! * overlapping sweeps never simulate the same `(config, kernel)` point
+//!   twice — the farm resolves repeats from memory or disk, and cached
+//!   records are bit-identical to fresh runs (`u64` counters round-trip
+//!   exactly through `caps_json`; floats via shortest-roundtrip
+//!   formatting);
+//! * entries written by a *different build* of the simulator can never
+//!   hit (their keys differ), so a code change silently invalidates the
+//!   cache instead of serving stale statistics.
+//!
+//! On-disk layout: one `<dir>/<32-hex-key>.json` per record, written
+//! atomically (unique tmp file + rename) so concurrent writers and
+//! killed processes can never leave a torn entry. Reads treat any
+//! malformed or mismatched file as a miss.
+//!
+//! Environment knobs (read once, on first use of the global cache):
+//!
+//! * `GPU_SIM_CACHE` — `rw` (default: read and write), `ro` (read-only),
+//!   `off` (bypass entirely);
+//! * `GPU_SIM_CACHE_DIR` — cache directory (default `.sim-cache`).
+//!
+//! The execution-mode fields of [`RunOpts`] (`fast_forward`,
+//! `sim_threads`) are deliberately **excluded** from the key: they are
+//! host-execution-only and bit-identity across them is enforced by the
+//! differential suites, so a record computed by any engine mode
+//! satisfies every other. `max_cycles` *is* keyed — a lower ceiling
+//! truncates runs. The only per-record field exempt from bit-identity is
+//! the [`LinkReport`](caps_gpu_sim::stats::LinkReport) observability
+//! block, which may legitimately differ across execution modes.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use caps_gpu_sim::digest::{Digest, Hashable};
+use caps_json::{obj, Value};
+
+use crate::harness::{RunOpts, RunRecord, RunSpec};
+
+/// Version of the on-disk entry layout. Bump when the JSON shape of a
+/// cache entry changes (the *content* key already tracks simulator
+/// source through the build fingerprint).
+pub const CACHE_SCHEMA_VERSION: u64 = 1;
+
+/// FNV-1a fingerprint of the simulator-stack sources, baked in by
+/// `build.rs`. Part of every cache key.
+pub const SIM_FINGERPRINT: &str = env!("CAPS_SIM_FINGERPRINT");
+
+/// Cache behaviour, from `GPU_SIM_CACHE`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheMode {
+    /// No lookups, no stores — every job simulates.
+    Off,
+    /// Read hits and persist fresh results (the default).
+    ReadWrite,
+    /// Read hits but never write the disk (shared/CI artifact caches).
+    ReadOnly,
+}
+
+impl CacheMode {
+    /// Parse `GPU_SIM_CACHE` (`off`/`0`/`no`, `rw`/`on`/`1`, `ro`);
+    /// unset or unrecognized values mean [`CacheMode::ReadWrite`].
+    pub fn from_env() -> Self {
+        match std::env::var("GPU_SIM_CACHE").as_deref() {
+            Ok("off") | Ok("0") | Ok("no") => CacheMode::Off,
+            Ok("ro") => CacheMode::ReadOnly,
+            _ => CacheMode::ReadWrite,
+        }
+    }
+}
+
+/// Cache directory: `GPU_SIM_CACHE_DIR`, default `.sim-cache`.
+pub fn default_cache_dir() -> PathBuf {
+    match std::env::var_os("GPU_SIM_CACHE_DIR") {
+        Some(dir) if !dir.is_empty() => PathBuf::from(dir),
+        _ => PathBuf::from(".sim-cache"),
+    }
+}
+
+/// Which tier served a cache hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheTier {
+    /// In-process index.
+    Memory,
+    /// Parsed from a `<key>.json` file.
+    Disk,
+}
+
+/// Monotonic counters for one [`ResultCache`] (process lifetime).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Hits served from the in-memory index.
+    pub mem_hits: u64,
+    /// Hits parsed from disk (then promoted to the index).
+    pub disk_hits: u64,
+    /// Lookups that found nothing usable.
+    pub misses: u64,
+    /// Entries written to disk.
+    pub stores: u64,
+    /// Failed disk writes (cache stays best-effort; the run result is
+    /// unaffected).
+    pub store_errors: u64,
+}
+
+/// The canonical content key of one job: everything that determines the
+/// run's statistics, salted with schema version and build fingerprint.
+pub fn job_digest(spec: &RunSpec, opts: &RunOpts) -> u128 {
+    let mut d = Digest::with_salt(SIM_FINGERPRINT);
+    d.write_u64(CACHE_SCHEMA_VERSION);
+    spec.engine.digest_into(&mut d);
+    d.write_str(spec.workload.abbr());
+    d.write_tag(match spec.scale {
+        caps_workloads::Scale::Full => 0,
+        caps_workloads::Scale::Small => 1,
+    });
+    spec.base_config.digest_into(&mut d);
+    // The materialized kernel IR: any change to a workload's program,
+    // geometry, or scaling lands here even if the enum name is stable.
+    spec.workload.kernel(spec.scale).digest_into(&mut d);
+    d.write_u64(
+        opts.max_cycles
+            .unwrap_or(caps_gpu_sim::gpu::DEFAULT_MAX_CYCLES),
+    );
+    d.finish()
+}
+
+/// A persistent, thread-safe, content-addressed store of [`RunRecord`]s.
+pub struct ResultCache {
+    mode: CacheMode,
+    dir: PathBuf,
+    index: Mutex<HashMap<u128, RunRecord>>,
+    mem_hits: AtomicU64,
+    disk_hits: AtomicU64,
+    misses: AtomicU64,
+    stores: AtomicU64,
+    store_errors: AtomicU64,
+    tmp_seq: AtomicU64,
+}
+
+static GLOBAL: OnceLock<ResultCache> = OnceLock::new();
+
+impl ResultCache {
+    /// A cache over `dir` with explicit behaviour.
+    pub fn new(mode: CacheMode, dir: impl Into<PathBuf>) -> Self {
+        ResultCache {
+            mode,
+            dir: dir.into(),
+            index: Mutex::new(HashMap::new()),
+            mem_hits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            stores: AtomicU64::new(0),
+            store_errors: AtomicU64::new(0),
+            tmp_seq: AtomicU64::new(0),
+        }
+    }
+
+    /// Cache configured from the environment (`GPU_SIM_CACHE`,
+    /// `GPU_SIM_CACHE_DIR`).
+    pub fn from_env() -> Self {
+        Self::new(CacheMode::from_env(), default_cache_dir())
+    }
+
+    /// The process-wide shared cache used by [`run_matrix`] and
+    /// [`sweep`] (environment-configured, built on first use).
+    ///
+    /// [`run_matrix`]: crate::harness::run_matrix
+    /// [`sweep`]: crate::sweep::sweep
+    pub fn global() -> &'static ResultCache {
+        GLOBAL.get_or_init(ResultCache::from_env)
+    }
+
+    /// The cache's behaviour mode.
+    pub fn mode(&self) -> CacheMode {
+        self.mode
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Counter snapshot.
+    pub fn counters(&self) -> CacheCounters {
+        CacheCounters {
+            mem_hits: self.mem_hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            stores: self.stores.load(Ordering::Relaxed),
+            store_errors: self.store_errors.load(Ordering::Relaxed),
+        }
+    }
+
+    fn entry_path(&self, key: u128) -> PathBuf {
+        self.dir.join(format!("{key:032x}.json"))
+    }
+
+    /// Look up a record, reporting which tier served it.
+    pub fn lookup_tiered(&self, key: u128) -> Option<(RunRecord, CacheTier)> {
+        if self.mode == CacheMode::Off {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        if let Some(rec) = self.index.lock().unwrap().get(&key) {
+            self.mem_hits.fetch_add(1, Ordering::Relaxed);
+            return Some((rec.clone(), CacheTier::Memory));
+        }
+        if let Some(rec) = self.load_from_disk(key) {
+            self.disk_hits.fetch_add(1, Ordering::Relaxed);
+            self.index.lock().unwrap().insert(key, rec.clone());
+            return Some((rec, CacheTier::Disk));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Look up a record by content key.
+    pub fn lookup(&self, key: u128) -> Option<RunRecord> {
+        self.lookup_tiered(key).map(|(rec, _)| rec)
+    }
+
+    /// Publish a fresh result under `key`: always into the in-memory
+    /// index (except in `Off` mode), and onto disk in `ReadWrite` mode.
+    pub fn insert(&self, key: u128, record: &RunRecord) {
+        match self.mode {
+            CacheMode::Off => return,
+            CacheMode::ReadOnly => {}
+            CacheMode::ReadWrite => self.store_to_disk(key, record),
+        }
+        self.index.lock().unwrap().insert(key, record.clone());
+    }
+
+    /// Forget everything in the in-memory index (disk untouched). Lets
+    /// tests and the farm bench exercise the disk path deliberately.
+    pub fn drop_index(&self) {
+        self.index.lock().unwrap().clear();
+    }
+
+    fn load_from_disk(&self, key: u128) -> Option<RunRecord> {
+        let text = std::fs::read_to_string(self.entry_path(key)).ok()?;
+        let doc = Value::parse(&text).ok()?;
+        // Any mismatch (schema bump, truncated write that still parses,
+        // hand-edited file) is a miss, never an error.
+        if doc.get("schema")?.as_u64().ok()? != CACHE_SCHEMA_VERSION {
+            return None;
+        }
+        if doc.get("key")?.as_str().ok()? != format!("{key:032x}") {
+            return None;
+        }
+        crate::export::record_from_value(doc.get("record")?).ok()
+    }
+
+    fn store_to_disk(&self, key: u128, record: &RunRecord) {
+        let doc = obj(vec![
+            ("schema", Value::UInt(CACHE_SCHEMA_VERSION)),
+            ("key", Value::Str(format!("{key:032x}"))),
+            ("fingerprint", Value::Str(SIM_FINGERPRINT.to_string())),
+            ("record", crate::export::record_to_value(record)),
+        ]);
+        let final_path = self.entry_path(key);
+        // Unique tmp name per (process, store): concurrent writers of
+        // the same key each rename a complete file into place.
+        let tmp = self.dir.join(format!(
+            ".tmp-{key:032x}-{}-{}",
+            std::process::id(),
+            self.tmp_seq.fetch_add(1, Ordering::Relaxed),
+        ));
+        let write = || -> std::io::Result<()> {
+            std::fs::create_dir_all(&self.dir)?;
+            std::fs::write(&tmp, doc.pretty())?;
+            std::fs::rename(&tmp, &final_path)
+        };
+        match write() {
+            Ok(()) => {
+                self.stores.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                let _ = std::fs::remove_file(&tmp);
+                self.store_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use caps_workloads::{Scale, Workload};
+
+    fn spec() -> RunSpec {
+        RunSpec::small(Workload::Jc1, Engine::Baseline)
+    }
+
+    #[test]
+    fn job_digest_is_stable_and_spec_sensitive() {
+        let a = job_digest(&spec(), &RunOpts::default());
+        assert_eq!(a, job_digest(&spec(), &RunOpts::default()));
+
+        let mut other = spec();
+        other.scale = Scale::Full;
+        assert_ne!(a, job_digest(&other, &RunOpts::default()));
+
+        let mut other = spec();
+        other.engine = Engine::Caps;
+        assert_ne!(a, job_digest(&other, &RunOpts::default()));
+
+        let mut other = spec();
+        other.base_config.l1d.mshr_entries = 16;
+        assert_ne!(a, job_digest(&other, &RunOpts::default()));
+
+        let ceiling = RunOpts {
+            max_cycles: Some(1000),
+            ..RunOpts::default()
+        };
+        assert_ne!(a, job_digest(&spec(), &ceiling));
+    }
+
+    #[test]
+    fn execution_mode_does_not_change_the_key() {
+        let a = job_digest(&spec(), &RunOpts::default());
+        let modes = RunOpts {
+            fast_forward: Some(false),
+            sim_threads: Some(4),
+            max_cycles: None,
+        };
+        assert_eq!(a, job_digest(&spec(), &modes));
+    }
+
+    #[test]
+    fn mode_parsing_defaults_to_rw() {
+        // Avoid set_var races with parallel tests: only check that the
+        // ambient environment yields *some* valid mode and that the
+        // default path is ReadWrite when the variable is unset.
+        if std::env::var("GPU_SIM_CACHE").is_err() {
+            assert_eq!(CacheMode::from_env(), CacheMode::ReadWrite);
+        }
+    }
+
+    #[test]
+    fn off_mode_never_touches_disk() {
+        let dir = std::env::temp_dir().join(format!("caps-cache-off-{}", std::process::id()));
+        let cache = ResultCache::new(CacheMode::Off, &dir);
+        let key = 42u128;
+        let rec = crate::harness::run_one(&spec());
+        cache.insert(key, &rec);
+        assert!(cache.lookup(key).is_none());
+        assert!(!dir.exists(), "Off mode must not create the cache dir");
+        assert_eq!(cache.counters().stores, 0);
+    }
+}

@@ -124,6 +124,37 @@ impl Engine {
     }
 }
 
+// --- content hashing (sweep-farm result cache keys) -------------------
+
+use caps_gpu_sim::digest::{Digest, Hashable};
+
+impl Hashable for Engine {
+    /// Variant identity, not the display label: `Inter` and
+    /// `InterAtDistance(d)` share the `"INTER"` label but select
+    /// different prefetch engines, so the digest tags the discriminant
+    /// and streams variant payloads explicitly.
+    fn digest_into(&self, d: &mut Digest) {
+        match *self {
+            Engine::Baseline => d.write_tag(0),
+            Engine::Intra => d.write_tag(1),
+            Engine::Inter => d.write_tag(2),
+            Engine::InterAtDistance(dist) => {
+                d.write_tag(3);
+                d.write_u32(dist);
+            }
+            Engine::Mta => d.write_tag(4),
+            Engine::Nlp => d.write_tag(5),
+            Engine::Lap => d.write_tag(6),
+            Engine::Orch => d.write_tag(7),
+            Engine::Caps => d.write_tag(8),
+            Engine::CapsNoWakeup => d.write_tag(9),
+            Engine::CapsOnLrr => d.write_tag(10),
+            Engine::CapsOnTlv => d.write_tag(11),
+            Engine::CapsOnPasGto => d.write_tag(12),
+        }
+    }
+}
+
 /// Keep a reference to the concrete CAP type so the public API surfaces
 /// it (diagnostics in examples construct it directly).
 pub type Cap = CtaAwarePrefetcher;
@@ -162,6 +193,21 @@ mod tests {
             let f = e.factory();
             let _ = f(0);
         }
+    }
+
+    #[test]
+    fn engine_digest_distinguishes_same_label_variants() {
+        use caps_gpu_sim::digest::fingerprint;
+        assert_eq!(Engine::Inter.label(), Engine::InterAtDistance(3).label());
+        assert_ne!(
+            fingerprint(&Engine::Inter),
+            fingerprint(&Engine::InterAtDistance(3))
+        );
+        assert_ne!(
+            fingerprint(&Engine::InterAtDistance(3)),
+            fingerprint(&Engine::InterAtDistance(4))
+        );
+        assert_eq!(fingerprint(&Engine::Caps), fingerprint(&Engine::Caps));
     }
 
     #[test]

@@ -158,7 +158,8 @@ fn links_from_value(v: &Value) -> Result<LinkReport, Error> {
     Ok(l)
 }
 
-fn record_to_value(r: &RunRecord) -> Value {
+/// Serialize one record (shared with the result cache's entry files).
+pub(crate) fn record_to_value(r: &RunRecord) -> Value {
     obj(vec![
         ("workload", Value::Str(r.workload.clone())),
         ("engine", Value::Str(r.engine.clone())),
@@ -168,7 +169,8 @@ fn record_to_value(r: &RunRecord) -> Value {
     ])
 }
 
-fn record_from_value(v: &Value) -> Result<RunRecord, Error> {
+/// Parse one record (shared with the result cache's entry files).
+pub(crate) fn record_from_value(v: &Value) -> Result<RunRecord, Error> {
     Ok(RunRecord {
         workload: v.require("workload")?.as_str()?.to_string(),
         engine: v.require("engine")?.as_str()?.to_string(),

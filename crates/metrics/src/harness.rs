@@ -2,15 +2,15 @@
 //!
 //! Parallelism exists at two levels. The evaluation matrix — engines ×
 //! benchmarks × configuration sweeps — is embarrassingly parallel, and
-//! the harness fans runs out over std scoped threads with a
-//! work-stealing index, keeping results order-stable and every run
-//! deterministic. A single simulation can additionally use the
+//! [`run_matrix`] fans runs out through the [sweep farm](crate::farm),
+//! which adds work-stealing workers, content-addressed result caching,
+//! and submission dedup while keeping results order-stable and every
+//! run deterministic. A single simulation can additionally use the
 //! phase-split parallel cycle engine (`RunOpts::sim_threads`, or the
 //! `GPU_SIM_THREADS` environment variable), which is bit-identical to
 //! sequential stepping for every thread count.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 use caps_gpu_sim::config::GpuConfig;
 use caps_gpu_sim::gpu::Gpu;
@@ -155,38 +155,23 @@ pub fn set_default_threads(threads: usize) {
 }
 
 /// Execute a matrix of specs in parallel; results are index-aligned with
-/// the input order regardless of completion order.
+/// the input order regardless of completion order. A thin client of the
+/// [sweep farm](crate::farm): repeated specs dedup to one simulation and
+/// previously-computed points resolve from the result cache.
 pub fn run_matrix(specs: &[RunSpec]) -> Vec<RunRecord> {
     run_matrix_with_threads(specs, default_threads())
 }
 
 /// Parallel runner with an explicit worker count.
 pub fn run_matrix_with_threads(specs: &[RunSpec], threads: usize) -> Vec<RunRecord> {
-    if specs.is_empty() {
-        return Vec::new();
-    }
-    let threads = threads.clamp(1, specs.len());
-    let next = AtomicUsize::new(0);
-    let results: Vec<Mutex<Option<RunRecord>>> = specs.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= specs.len() {
-                    break;
-                }
-                let record = run_one(&specs[i]);
-                *results[i].lock().unwrap() = Some(record);
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|m| m.into_inner().unwrap().expect("every spec produced a record"))
-        .collect()
+    let jobs: Vec<crate::farm::FarmJob> = specs
+        .iter()
+        .map(|s| crate::farm::FarmJob::new(s.clone()))
+        .collect();
+    crate::farm::Farm::global(threads).run(&jobs).0
 }
 
-fn default_threads() -> usize {
+pub(crate) fn default_threads() -> usize {
     match DEFAULT_THREADS.load(Ordering::Relaxed) {
         0 => std::thread::available_parallelism()
             .map(|n| n.get())

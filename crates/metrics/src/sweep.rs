@@ -8,8 +8,10 @@
 
 use caps_gpu_sim::config::GpuConfig;
 use caps_workloads::{Scale, Workload};
+
 use crate::engine::Engine;
-use crate::harness::{run_matrix, RunSpec};
+use crate::farm::{Farm, FarmJob, FarmStats};
+use crate::harness::{default_threads, RunSpec};
 use crate::report::mean;
 
 /// One swept parameter point: label plus the config it produces.
@@ -33,7 +35,9 @@ pub struct SweepResult {
     pub speedup: Vec<f64>,
 }
 
-/// Run `engine` and the baseline at every point, over `workloads`.
+/// Run `engine` and the baseline at every point, over `workloads`, on
+/// the process-wide farm (environment-configured cache, default worker
+/// count).
 pub fn sweep(
     axis: &str,
     points: Vec<SweepPoint>,
@@ -41,18 +45,34 @@ pub fn sweep(
     engine: Engine,
     scale: Scale,
 ) -> SweepResult {
-    let mut specs = Vec::new();
+    sweep_on(&Farm::global(default_threads()), axis, points, workloads, engine, scale).0
+}
+
+/// [`sweep`] on an explicit farm, also returning the batch statistics
+/// (simulations run, cache hits, points deduplicated). Duplicate sweep
+/// points — overlapping axes that both contain the base configuration,
+/// or caller-supplied repeats — collapse to one simulation each via the
+/// farm's content-keyed submission dedup.
+pub fn sweep_on(
+    farm: &Farm,
+    axis: &str,
+    points: Vec<SweepPoint>,
+    workloads: &[Workload],
+    engine: Engine,
+    scale: Scale,
+) -> (SweepResult, FarmStats) {
+    let mut jobs = Vec::new();
     for p in &points {
         for &w in workloads {
             for e in [Engine::Baseline, engine] {
                 let mut s = RunSpec::paper(w, e);
                 s.scale = scale;
                 s.base_config = p.config.clone();
-                specs.push(s);
+                jobs.push(FarmJob::new(s));
             }
         }
     }
-    let recs = run_matrix(&specs);
+    let (recs, stats) = farm.run(&jobs);
     let per_point = workloads.len() * 2;
     let mut speedup = Vec::new();
     for (pi, _) in points.iter().enumerate() {
@@ -65,11 +85,12 @@ pub fn sweep(
             .collect();
         speedup.push(mean(&vals));
     }
-    SweepResult {
+    let result = SweepResult {
         axis: axis.to_string(),
         labels: points.into_iter().map(|p| p.label).collect(),
         speedup,
-    }
+    };
+    (result, stats)
 }
 
 /// The four standard sensitivity axes, centred on Table III.
@@ -152,6 +173,38 @@ mod tests {
             "{:?}",
             r.speedup
         );
+    }
+
+    #[test]
+    fn sweep_dedups_repeated_points() {
+        use crate::cache::{CacheMode, ResultCache};
+        let cache = ResultCache::new(CacheMode::Off, std::env::temp_dir().join("caps-sweep-unused"));
+        let farm = Farm::new(&cache, 4);
+        let base = GpuConfig::fermi_gtx480;
+        // Two identical points plus one distinct, mimicking overlapping
+        // axes that both contain the base configuration.
+        let mut big = base();
+        big.l1d.size_bytes = 64 * 1024;
+        let points = vec![
+            SweepPoint { label: "base".into(), config: base() },
+            SweepPoint { label: "base-again".into(), config: base() },
+            SweepPoint { label: "64KB".into(), config: big },
+        ];
+        let (r, stats) = sweep_on(
+            &farm,
+            "dup-axis",
+            points,
+            &[Workload::Scn],
+            Engine::Caps,
+            Scale::Small,
+        );
+        // 3 points × 1 workload × 2 engines = 6 jobs, but the repeated
+        // point's pair dedups: only 4 simulations, deterministically.
+        assert_eq!(stats.jobs, 6);
+        assert_eq!(stats.sims, 4);
+        assert_eq!(stats.dedup, 2);
+        assert_eq!(stats.hits(), 0, "cache off: dedup alone collapses repeats");
+        assert_eq!(r.speedup[0], r.speedup[1], "identical points, identical result");
     }
 
     #[test]

@@ -20,22 +20,33 @@
 //! throwaway cache directory — cold (simulating + storing), warm from
 //! disk (in-memory index dropped), warm from memory — and writes
 //! `BENCH_farm.json` (override with `--out`) recording the timings,
-//! speedups, and per-pass counters.
+//! speedups, per-pass counters, and a `host` header describing the
+//! machine (cores, SMT, model, pinning, oversubscription).
+//!
+//! `--prune-against PATH` loads a results archive — a result-cache
+//! directory, or any JSON carrying job keys such as a previous `--stats`
+//! file or `BENCH_farm.json` — and skips every sweep job whose content
+//! key it covers (reported as `pruned`; pruned sweep points render as
+//! `NaN` with a `(pruned)` label). The `job_keys` array written by
+//! `--stats` and per-pass bench entries makes any run's output usable
+//! as such an archive.
 
 use std::path::PathBuf;
 use std::time::Instant;
 
 use caps_json::{obj, Value};
 use caps_metrics::{
-    standard_axes, sweep_on, CacheMode, Engine, Farm, FarmStats, ResultCache, SweepResult, Table,
+    standard_axes, sweep_jobs, sweep_pruned, CacheMode, Engine, Farm, FarmStats, PruneSet,
+    ResultCache, SweepResult, Table,
 };
 use caps_workloads::{all_workloads, Scale, Workload};
 
 fn usage() -> ! {
     eprintln!(
         "usage: farm [--small] [--jobs N] [--cache-dir PATH] [--cache rw|ro|off]\n\
-         \x20           [--workloads A,B,..] [--out PATH] [--stats PATH]\n\
+         \x20           [--workloads A,B,..] [--out PATH] [--stats PATH] [--prune-against PATH]\n\
          \x20      farm --bench [--small] [--jobs N] [--workloads A,B,..] [--out PATH]\n\
+         \x20           [--prune-against PATH]\n\
          BENCH: {}",
         all_workloads()
             .iter()
@@ -70,6 +81,22 @@ fn parse_workloads(args: &[String]) -> Vec<Workload> {
     }
 }
 
+/// `--prune-against PATH`: load a results archive (cache directory or
+/// any JSON carrying job keys) whose covered points are skipped.
+fn parse_prune(args: &[String]) -> PruneSet {
+    match flag_value(args, "--prune-against") {
+        Some(path) => {
+            let set = PruneSet::load(std::path::Path::new(&path)).unwrap_or_else(|e| {
+                eprintln!("--prune-against {path}: {e}");
+                std::process::exit(2);
+            });
+            eprintln!("pruning against {path}: {} known job keys", set.len());
+            set
+        }
+        None => PruneSet::new(),
+    }
+}
+
 fn parse_jobs(args: &[String]) -> usize {
     match flag_value(args, "--jobs") {
         Some(n) => n.parse().ok().filter(|&n| n > 0).unwrap_or_else(|| {
@@ -80,25 +107,35 @@ fn parse_jobs(args: &[String]) -> usize {
     }
 }
 
-/// Run all standard axes on `farm`, returning the sweep summaries and
-/// the aggregated batch statistics.
+/// Run all standard axes on `farm`, skipping jobs covered by `prune`.
+/// Returns the sweep summaries, the aggregated batch statistics, and
+/// the submitted job content keys (pruned ones included) so the run's
+/// own output can serve as a future `--prune-against` archive.
 fn run_axes(
     farm: &Farm,
     workloads: &[Workload],
     scale: Scale,
-) -> (Vec<SweepResult>, FarmStats) {
+    prune: &PruneSet,
+) -> (Vec<SweepResult>, FarmStats, Vec<u128>) {
     let mut total = FarmStats::default();
     let mut results = Vec::new();
+    let mut job_keys = Vec::new();
     for (axis, points) in standard_axes() {
-        let (r, s) = sweep_on(farm, &axis, points, workloads, Engine::Caps, scale);
+        for job in sweep_jobs(&points, workloads, Engine::Caps, scale) {
+            job_keys.push(job.digest());
+        }
+        let (r, s) = sweep_pruned(farm, &axis, points, workloads, Engine::Caps, scale, prune);
         total.jobs += s.jobs;
         total.sims += s.sims;
         total.mem_hits += s.mem_hits;
         total.disk_hits += s.disk_hits;
         total.dedup += s.dedup;
+        total.pruned += s.pruned;
         results.push(r);
     }
-    (results, total)
+    job_keys.sort_unstable();
+    job_keys.dedup();
+    (results, total, job_keys)
 }
 
 fn print_tables(results: &[SweepResult]) {
@@ -131,7 +168,7 @@ fn sweep_summary_json(results: &[SweepResult]) -> String {
     Value::Arr(axes).pretty()
 }
 
-fn stats_json(stats: &FarmStats, cache: &ResultCache, seconds: f64) -> Value {
+fn stats_json(stats: &FarmStats, cache: &ResultCache, seconds: f64, job_keys: &[u128]) -> Value {
     let c = cache.counters();
     obj(vec![
         ("jobs", Value::UInt(stats.jobs)),
@@ -140,11 +177,24 @@ fn stats_json(stats: &FarmStats, cache: &ResultCache, seconds: f64) -> Value {
         ("disk_hits", Value::UInt(stats.disk_hits)),
         ("hits", Value::UInt(stats.hits())),
         ("dedup", Value::UInt(stats.dedup)),
+        ("pruned", Value::UInt(stats.pruned)),
         ("hit_rate", Value::Float(stats.hit_rate())),
         ("seconds", Value::Float(seconds)),
         ("cache_stores", Value::UInt(c.stores)),
         ("cache_store_errors", Value::UInt(c.store_errors)),
         ("cache_misses", Value::UInt(c.misses)),
+        // The batch's content keys: feed this file (or any JSON
+        // containing it) back via --prune-against to skip every job it
+        // covers.
+        (
+            "job_keys",
+            Value::Arr(
+                job_keys
+                    .iter()
+                    .map(|k| Value::Str(format!("{k:032x}")))
+                    .collect(),
+            ),
+        ),
     ])
 }
 
@@ -157,6 +207,7 @@ fn bench(args: &[String]) {
     let workloads = parse_workloads(args);
     let jobs = parse_jobs(args);
     let out = flag_value(args, "--out").unwrap_or_else(|| "BENCH_farm.json".to_string());
+    let prune = parse_prune(args);
 
     // A throwaway cache directory so the cold pass is genuinely cold and
     // the run leaves no state behind.
@@ -174,7 +225,7 @@ fn bench(args: &[String]) {
             cache.drop_index();
         }
         let t0 = Instant::now();
-        let (results, stats) = run_axes(&farm, &workloads, scale);
+        let (results, stats, job_keys) = run_axes(&farm, &workloads, scale, &prune);
         seconds[pi] = t0.elapsed().as_secs_f64();
         let summary = sweep_summary_json(&results);
         if pi == 0 {
@@ -187,10 +238,16 @@ fn bench(args: &[String]) {
             );
         }
         eprintln!(
-            "{pass}: {:.3}s  jobs={} sims={} mem={} disk={} dedup={}",
-            seconds[pi], stats.jobs, stats.sims, stats.mem_hits, stats.disk_hits, stats.dedup
+            "{pass}: {:.3}s  jobs={} sims={} mem={} disk={} dedup={} pruned={}",
+            seconds[pi],
+            stats.jobs,
+            stats.sims,
+            stats.mem_hits,
+            stats.disk_hits,
+            stats.dedup,
+            stats.pruned
         );
-        let mut entry = stats_json(&stats, &cache, seconds[pi]);
+        let mut entry = stats_json(&stats, &cache, seconds[pi], &job_keys);
         if let Value::Obj(fields) = &mut entry {
             fields.insert(0, ("pass".to_string(), Value::Str(pass.to_string())));
         }
@@ -201,6 +258,7 @@ fn bench(args: &[String]) {
     let scale_str = if scale == Scale::Small { "small" } else { "full" };
     let doc = obj(vec![
         ("bench", Value::Str("sweep_farm".to_string())),
+        ("host", caps_bench::host_json(jobs)),
         (
             "timing",
             Value::Str(
@@ -259,19 +317,21 @@ fn main() {
         .unwrap_or_else(caps_metrics::cache::default_cache_dir);
     let cache = ResultCache::new(mode, dir);
     let farm = Farm::new(&cache, jobs);
+    let prune = parse_prune(&args);
 
     let t0 = Instant::now();
-    let (results, stats) = run_axes(&farm, &workloads, scale);
+    let (results, stats, job_keys) = run_axes(&farm, &workloads, scale, &prune);
     let seconds = t0.elapsed().as_secs_f64();
     print_tables(&results);
     eprintln!(
-        "{:.3}s  jobs={} sims={} mem={} disk={} dedup={}  (hit rate {:.1}%, cache dir {})",
+        "{:.3}s  jobs={} sims={} mem={} disk={} dedup={} pruned={}  (hit rate {:.1}%, cache dir {})",
         seconds,
         stats.jobs,
         stats.sims,
         stats.mem_hits,
         stats.disk_hits,
         stats.dedup,
+        stats.pruned,
         stats.hit_rate() * 100.0,
         cache.dir().display(),
     );
@@ -282,8 +342,11 @@ fn main() {
         println!("wrote {out}");
     }
     if let Some(path) = flag_value(&args, "--stats") {
-        std::fs::write(&path, stats_json(&stats, &cache, seconds).pretty())
-            .unwrap_or_else(|e| panic!("write {path}: {e}"));
+        let mut doc = stats_json(&stats, &cache, seconds, &job_keys);
+        if let Value::Obj(fields) = &mut doc {
+            fields.insert(0, ("host".to_string(), caps_bench::host_json(jobs)));
+        }
+        std::fs::write(&path, doc.pretty()).unwrap_or_else(|e| panic!("write {path}: {e}"));
         println!("wrote {path}");
     }
 }

@@ -108,6 +108,10 @@ fn bench_throughput(args: &[String]) {
         configs.push(RunOpts {
             fast_forward: Some(true),
             sim_threads: Some(threads),
+            // Measure the parallel engine itself: the adaptive
+            // controller would otherwise fall back to sequential on
+            // oversubscribed hosts and report fast-1 numbers twice.
+            adaptive: Some(false),
             ..RunOpts::default()
         });
     }
@@ -228,12 +232,16 @@ fn bench_throughput(args: &[String]) {
         .iter()
         .filter_map(|e| e.get("speedup").and_then(|v| v.as_f64().ok()))
         .fold(0.0_f64, f64::max);
+    // Host header: oversubscription is judged against the widest
+    // parallel-engine configuration this run timed (1 = seq only).
+    let widest = sim_threads.iter().copied().max().unwrap_or(1);
     let doc = obj(vec![
         ("bench", Value::Str("sim_throughput".to_string())),
         (
             "timing",
             Value::Str(format!("best of {reps} whole-suite passes, configs interleaved")),
         ),
+        ("host", caps_bench::host_json(widest)),
         ("best_speedup", Value::Float(best)),
         ("entries", Value::Arr(entries)),
     ]);

@@ -140,6 +140,10 @@ fn main() {
             let opts = RunOpts {
                 fast_forward: Some(ff),
                 sim_threads: Some(threads),
+                // Pin the engine choice: this table compares the three
+                // stepping engines, so the adaptive controller must not
+                // silently swap one for another.
+                adaptive: Some(false),
                 ..RunOpts::default()
             };
             let t0 = Instant::now();

@@ -42,6 +42,66 @@ const EMPTY_META: LineMeta = LineMeta {
 /// the tag compare itself.
 const TAG_INVALID: Addr = Addr::MAX;
 
+/// Associativity the wide tag compare is specialised for. Eight u64
+/// tags are one 64-byte hardware cache line and exactly two 256-bit
+/// vector registers, so the full-config 8-way L1/L2 probe becomes two
+/// compares plus a movemask.
+const WIDE_WAYS: usize = 8;
+
+/// Runtime check for the wide tag compare. Separate from the per-set
+/// scan so `Cache::new` probes CPUID once and the hot path only tests
+/// a bool.
+#[inline]
+fn wide_compare_available() -> bool {
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(all(target_arch = "x86_64", not(miri))))]
+    {
+        false
+    }
+}
+
+/// AVX2 8-way tag compare returning the **first** matching way, so it
+/// is drop-in equivalent to the scalar `iter().position()` scan (the
+/// refill path relies on first-match when a set briefly holds a
+/// duplicate sentinel pattern). `TAG_INVALID` never equals a real line
+/// address, so empty ways can never match a lookup.
+///
+/// # Safety
+///
+/// Caller must ensure AVX2 is available and `tags.len() == WIDE_WAYS`.
+#[cfg(all(target_arch = "x86_64", not(miri)))]
+#[target_feature(enable = "avx2")]
+unsafe fn wide8_position(tags: &[Addr], needle: Addr) -> Option<usize> {
+    use std::arch::x86_64::{
+        __m256i, _mm256_cmpeq_epi64, _mm256_loadu_si256, _mm256_movemask_epi8, _mm256_set1_epi64x,
+    };
+    debug_assert_eq!(tags.len(), WIDE_WAYS);
+    let key = _mm256_set1_epi64x(needle as i64);
+    let lo = _mm256_loadu_si256(tags.as_ptr() as *const __m256i);
+    let hi = _mm256_loadu_si256(tags.as_ptr().add(4) as *const __m256i);
+    // Each 64-bit equal lane contributes 8 set bits to the movemask;
+    // trailing_zeros / 8 recovers the lowest matching lane index.
+    let lo_mask = _mm256_movemask_epi8(_mm256_cmpeq_epi64(lo, key)) as u32;
+    if lo_mask != 0 {
+        return Some(lo_mask.trailing_zeros() as usize / 8);
+    }
+    let hi_mask = _mm256_movemask_epi8(_mm256_cmpeq_epi64(hi, key)) as u32;
+    if hi_mask != 0 {
+        return Some(4 + hi_mask.trailing_zeros() as usize / 8);
+    }
+    None
+}
+
+/// Portable stand-in so non-x86 builds still compile; `wide_ok` is
+/// always false there and this is never reached at runtime.
+#[cfg(not(all(target_arch = "x86_64", not(miri))))]
+unsafe fn wide8_position(tags: &[Addr], needle: Addr) -> Option<usize> {
+    tags.iter().position(|&t| t == needle)
+}
+
 /// Result of a lookup.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Lookup {
@@ -85,6 +145,11 @@ pub struct Cache {
     sets: usize,
     assoc: usize,
     use_clock: u64,
+    /// Whether the 8-way tag scan may use the AVX2 wide compare.
+    /// Decided once at construction (`assoc == 8` and the CPU reports
+    /// AVX2); `find` branches on this flag so the per-access cost is a
+    /// predictable test, not a feature probe.
+    wide_ok: bool,
 }
 
 impl Cache {
@@ -101,6 +166,7 @@ impl Cache {
             sets,
             assoc,
             use_clock: 0,
+            wide_ok: assoc == WIDE_WAYS && wide_compare_available(),
         }
     }
 
@@ -126,6 +192,13 @@ impl Cache {
     #[inline]
     fn find(&self, set: usize, line_addr: Addr) -> Option<usize> {
         let base = set * self.assoc;
+        if self.wide_ok {
+            // SAFETY: `wide_ok` is only set when the CPU reported AVX2
+            // at construction and `assoc == WIDE_WAYS`, so the slice
+            // passed here is exactly 8 tags long.
+            return unsafe { wide8_position(&self.tags[base..base + WIDE_WAYS], line_addr) }
+                .map(|w| base + w);
+        }
         self.tags[base..base + self.assoc]
             .iter()
             .position(|&t| t == line_addr)
@@ -436,6 +509,66 @@ mod tests {
         let _ = c.access(s[1]);
         let out = c.fill(s[2], None);
         assert_eq!(out.writeback, Some(s[0]));
+    }
+
+    /// The wide compare must agree with the scalar `position` scan on
+    /// every probe pattern: misses, hits in each way, the invalid
+    /// sentinel, and duplicate tags (first match wins). Runs the same
+    /// workload through an 8-way cache (wide path where the host has
+    /// AVX2) and a direct scalar scan over its tag array.
+    #[test]
+    fn wide_tag_compare_matches_scalar_scan() {
+        let mut c = Cache::new(CacheConfig {
+            size_bytes: 8 * 128 * 16,
+            line_size: 128,
+            assoc: 8,
+            mshr_entries: 4,
+            mshr_merge: 4,
+            hit_latency: 1,
+        });
+        assert_eq!(c.assoc, WIDE_WAYS);
+
+        // Deterministic LCG address stream: fills, probes and
+        // invalidations exercise hits in every way plus misses.
+        let mut x: u64 = 0x2545_f491_4f6c_dd1d;
+        let mut step = || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (x >> 33) * 128
+        };
+        let mut addrs = Vec::new();
+        for _ in 0..512 {
+            let a = step();
+            c.fill(a, None);
+            addrs.push(a);
+        }
+        for (i, &a) in addrs.iter().enumerate() {
+            let probes = [a, a + 128, step()];
+            for p in probes {
+                let set = c.set_of(p);
+                let base = set * c.assoc;
+                let scalar = c.tags[base..base + c.assoc]
+                    .iter()
+                    .position(|&t| t == p)
+                    .map(|w| base + w);
+                assert_eq!(c.find(set, p), scalar, "probe {p:#x} step {i}");
+            }
+            if i % 7 == 0 {
+                c.invalidate(a);
+            }
+        }
+
+        // First-match semantics on a hand-built duplicate set: way 2
+        // and way 5 hold the same tag; both paths must report way 2.
+        let set = c.set_of(0);
+        let base = set * c.assoc;
+        for w in 0..WIDE_WAYS {
+            c.tags[base + w] = TAG_INVALID;
+        }
+        c.tags[base + 2] = 0;
+        c.tags[base + 5] = 0;
+        assert_eq!(c.find(set, 0), Some(base + 2));
+        // Misses in the duplicate set still miss.
+        assert_eq!(c.find(set, 640), None);
     }
 
     #[test]

@@ -177,6 +177,54 @@ pub struct Gpu {
     sim_threads: usize,
     /// Lazily-created persistent worker pool for the parallel phases.
     pool: Option<ShardPool>,
+    /// Load-aware shard plan: `sm_plan[w]..sm_plan[w+1]` is worker `w`'s
+    /// SM range (contiguous, ascending, covering `0..num_sms`), rebuilt
+    /// from measured per-SM cost at rebalance boundaries. Contiguity in
+    /// ascending SM order is what keeps the staged-request sequence —
+    /// and therefore every per-link send order — identical to the
+    /// sequential engine for *any* plan.
+    sm_plan: Vec<usize>,
+    /// Per-SM host-cost accumulator for the current rebalance window,
+    /// written only by the phase-1 worker owning the SM (disjoint) and
+    /// read/zeroed serially at rebalance boundaries.
+    sm_cost: Vec<u64>,
+    /// Cycle at which the shard plan is next rebuilt from `sm_cost`.
+    next_rebalance: Cycle,
+    /// Rebalance period in simulated cycles ([`Self::REBALANCE_WINDOW`]
+    /// unless overridden for tests).
+    rebalance_window: Cycle,
+    /// Whether `ensure_workers` asks the pool to pin helper threads
+    /// (subject to the `GPU_SIM_NO_PIN` escape hatch inside the pool).
+    pin_workers: bool,
+    /// Measured round-trip cost of one empty pool dispatch, sampled when
+    /// the pool is (re)built; the adaptive controller's floor for when a
+    /// parallel cycle can possibly beat a sequential one.
+    pool_dispatch_ns: u64,
+    /// Measured-cost engine selection: when `true`, windows alternate
+    /// between the sequential and parallel engines based on observed
+    /// ns/cycle (see [`Self::adapt_boundary`]); when `false`,
+    /// `sim_threads` alone decides. Both engines are bit-identical, so
+    /// the selector can never perturb results. Default from
+    /// `GPU_SIM_ADAPT` (unset = on).
+    adaptive: bool,
+    /// The adaptive controller's current choice: `true` dispatches the
+    /// parallel phases (when `sim_threads` allows), `false` runs
+    /// sequentially. Starts `false` so the first window calibrates the
+    /// sequential baseline.
+    adapt_use_par: bool,
+    /// End of the current adaptive measurement window.
+    adapt_window_end: Cycle,
+    /// EMA of host nanoseconds per simulated cycle under each engine;
+    /// NaN until that engine has been measured.
+    adapt_seq_ns: f64,
+    adapt_par_ns: f64,
+    /// Wall-clock instant and simulated cycle at the start of the
+    /// current measurement window.
+    adapt_mark: Option<(std::time::Instant, Cycle)>,
+    /// Windows since the controller last switched engines; forces a
+    /// periodic re-probe of the unused engine so a stale measurement
+    /// cannot lock the choice forever.
+    adapt_windows_in_mode: u32,
 }
 
 /// Cap on the per-SM probe-backoff exponent: an SM that keeps answering
@@ -194,6 +242,33 @@ fn shard_range(w: usize, n: usize, t: usize) -> std::ops::Range<usize> {
         return 0..0;
     }
     (w * n / t)..((w + 1) * n / t)
+}
+
+/// Build a load-balanced shard plan (boundary list of `t + 1` ascending
+/// cuts over `costs.len()` SMs) from per-SM cost samples: each SM gets
+/// weight `cost + 1` (the `+1` keeps zero-cost SMs from collapsing into
+/// one shard and makes the all-equal case reduce to the equal-count
+/// plan), and shard `s`'s boundary is cut at the first prefix whose
+/// weight reaches `s/t` of the total. Deterministic, contiguous, and
+/// ascending — the properties the fused-injection order proof needs —
+/// for every cost vector.
+fn plan_from_costs(costs: &[u64], t: usize) -> Vec<usize> {
+    let n = costs.len();
+    let mut bounds = vec![0usize; t + 1];
+    bounds[t] = n;
+    let total: u64 = costs.iter().map(|&c| c + 1).sum();
+    let mut acc = 0u64;
+    let mut shard = 1;
+    for (i, &c) in costs.iter().enumerate() {
+        acc += c + 1;
+        // At i == n-1, acc == total, so every remaining cut lands at n:
+        // the plan is always fully populated.
+        while shard < t && acc * (t as u64) >= total * (shard as u64) {
+            bounds[shard] = i + 1;
+            shard += 1;
+        }
+    }
+    bounds
 }
 
 /// Raw-pointer view of the SM-local phase state. Each worker touches
@@ -215,6 +290,12 @@ struct SmPhase<'a> {
     shard_min: *mut Cycle,
     /// Per-worker quiet-skip count slot (written unconditionally).
     shard_skips: *mut u64,
+    /// Shard-plan boundaries (`threads + 1` entries): worker `w` owns
+    /// SMs `plan[w]..plan[w+1]`. Read-only during the phase.
+    plan: *const usize,
+    /// Per-SM cost accumulators for the load-aware planner; entry `i` is
+    /// written only by the worker whose plan range contains `i`.
+    cost: *mut u64,
     kernel: &'a Kernel,
     num_sms: usize,
     threads: usize,
@@ -239,7 +320,13 @@ impl SmPhase<'_> {
         let stage = &mut *self.staging.add(w);
         let mut local_min = Cycle::MAX;
         let mut local_skips = 0u64;
-        for i in shard_range(w, self.num_sms, self.threads) {
+        let range = if w < self.threads {
+            *self.plan.add(w)..*self.plan.add(w + 1)
+        } else {
+            0..0
+        };
+        debug_assert!(range.end <= self.num_sms);
+        for i in range {
             let sm = &mut *self.sms.add(i);
             let quiet = &mut *self.quiet.add(i);
             let link = &mut *self.reply.add(i);
@@ -299,6 +386,13 @@ impl SmPhase<'_> {
                     }
                 }
                 sm.step(self.now, self.kernel, completed);
+                // Load-aware planner sample: only stepped SMs cost real
+                // host time (skipped ones are O(1) accounting), and only
+                // the parallel engine consumes the plan, so the
+                // sequential hot path pays nothing here.
+                if self.threads > 1 {
+                    *self.cost.add(i) += sm.load_weight();
+                }
             }
 
             // 1c. Fused injection, producer half: drain the SM's
@@ -618,6 +712,19 @@ impl Gpu {
             gate_benefit: 0,
             sim_threads: threads_from_env(),
             pool: None,
+            sm_plan: vec![0, num_sms],
+            sm_cost: vec![0; num_sms],
+            next_rebalance: Self::REBALANCE_WINDOW,
+            rebalance_window: Self::REBALANCE_WINDOW,
+            pin_workers: true,
+            pool_dispatch_ns: 0,
+            adaptive: adaptive_from_env(),
+            adapt_use_par: false,
+            adapt_window_end: 0,
+            adapt_seq_ns: f64::NAN,
+            adapt_par_ns: f64::NAN,
+            adapt_mark: None,
+            adapt_windows_in_mode: 0,
         }
     }
 
@@ -674,6 +781,61 @@ impl Gpu {
     /// The configured intra-simulation worker count.
     pub fn sim_threads(&self) -> usize {
         self.sim_threads
+    }
+
+    /// Enable or disable the measured-cost seq-vs-par engine selector.
+    /// Host-side only: both engines are bit-identical, so this cannot
+    /// change results — benches disable it to measure the pure parallel
+    /// engine. Resets the controller's measurements.
+    pub fn set_adaptive(&mut self, on: bool) {
+        self.adaptive = on;
+        self.adapt_use_par = false;
+        self.adapt_window_end = self.cycle;
+        self.adapt_seq_ns = f64::NAN;
+        self.adapt_par_ns = f64::NAN;
+        self.adapt_mark = None;
+        self.adapt_windows_in_mode = 0;
+    }
+
+    /// Whether the adaptive engine selector is live.
+    pub fn adaptive(&self) -> bool {
+        self.adaptive
+    }
+
+    /// Enable or disable pinning of pool helper threads to CPUs (still
+    /// subject to the `GPU_SIM_NO_PIN` escape hatch). Rebuilds the pool
+    /// on the next parallel cycle so the change takes effect.
+    pub fn set_pinning(&mut self, on: bool) {
+        if self.pin_workers != on {
+            self.pin_workers = on;
+            self.pool = None;
+        }
+    }
+
+    /// Override the shard-plan rebalance period (simulated cycles). The
+    /// next rebalance is scheduled `window` cycles from now.
+    pub fn set_shard_rebalance_window(&mut self, window: Cycle) {
+        self.rebalance_window = window.max(1);
+        self.next_rebalance = self.cycle + self.rebalance_window;
+    }
+
+    /// Install an explicit shard plan (boundary list, `len == t + 1`
+    /// where `t = sim_threads.min(num_sms)`, starting at 0, ending at
+    /// `num_sms`, non-decreasing). The plan persists until the next
+    /// rebalance boundary replaces it with a measured one — differential
+    /// tests use this to force skewed shard loads. Panics on malformed
+    /// plans.
+    pub fn set_shard_plan(&mut self, plan: Vec<usize>) {
+        let t = self.sim_threads.min(self.cfg.num_sms).max(1);
+        assert_eq!(plan.len(), t + 1, "plan must have one boundary per shard edge");
+        assert_eq!(plan[0], 0, "plan must start at SM 0");
+        assert_eq!(*plan.last().unwrap(), self.cfg.num_sms, "plan must cover every SM");
+        assert!(
+            plan.windows(2).all(|w| w[0] <= w[1]),
+            "plan boundaries must be non-decreasing"
+        );
+        self.sm_plan = plan;
+        self.sm_cost.fill(0);
     }
 
     /// Current simulated cycle.
@@ -754,6 +916,9 @@ impl Gpu {
             // stepped naively. Both paths account identical statistics,
             // so neither the backoff nor its adaptation can perturb
             // results.
+            if self.adaptive && self.sim_threads > 1 && now >= self.adapt_window_end {
+                self.adapt_boundary(now);
+            }
             if self.fast_forward {
                 if now >= self.gate_window_end {
                     self.gate_boundary(now);
@@ -825,6 +990,72 @@ impl Gpu {
         }
         self.gate_benefit = 0;
     }
+
+    /// Measurement window of the adaptive engine selector, in simulated
+    /// cycles. Long enough that one pool dispatch per cycle amortises
+    /// into a stable ns/cycle sample, short enough to catch phase
+    /// changes (CTA waves, drain tails) within a few windows.
+    const ADAPT_WINDOW: Cycle = 4096;
+    /// Windows spent in one engine before the other is force-probed:
+    /// workload phases change (a quiet drain tail follows a busy wave),
+    /// so a measurement must not lock the choice forever.
+    const ADAPT_REPROBE_WINDOWS: u32 = 16;
+
+    /// Close of an adaptive measurement window at cycle `now`: fold the
+    /// window's measured ns/cycle into the current engine's EMA, then
+    /// choose the engine for the next window. Decision order: calibrate
+    /// the sequential baseline first; stay sequential while the
+    /// previous window's active-SM estimate says the machine is nearly
+    /// idle (a barrier over one busy SM is pure loss) or while a whole
+    /// sequential cycle costs less than the measured pool dispatch
+    /// alone (the parallel engine cannot win even with free shards);
+    /// otherwise probe, then pick the measured argmin with hysteresis.
+    /// Purely host-time scheduling — both engines are bit-identical.
+    fn adapt_boundary(&mut self, now: Cycle) {
+        let t_now = std::time::Instant::now();
+        if let Some((mark, start_cycle)) = self.adapt_mark {
+            let cycles = now.saturating_sub(start_cycle).max(1);
+            let ns = t_now.duration_since(mark).as_nanos() as f64 / cycles as f64;
+            let slot = if self.adapt_use_par {
+                &mut self.adapt_par_ns
+            } else {
+                &mut self.adapt_seq_ns
+            };
+            *slot = if slot.is_nan() { ns } else { 0.5 * *slot + 0.5 * ns };
+        }
+        self.adapt_windows_in_mode += 1;
+        let seq = self.adapt_seq_ns;
+        let par = self.adapt_par_ns;
+        let dispatch_floor = self.pool_dispatch_ns as f64 * 1.25;
+        let next_par = if seq.is_nan()
+            || self.sm_active_estimate < 2
+            || (self.pool_dispatch_ns > 0 && seq <= dispatch_floor)
+        {
+            false
+        } else if par.is_nan() {
+            true
+        } else if self.adapt_windows_in_mode >= Self::ADAPT_REPROBE_WINDOWS {
+            !self.adapt_use_par
+        } else if self.adapt_use_par {
+            // Hysteresis: hold the current engine unless the other is
+            // clearly (>10%) cheaper, so noise cannot cause thrashing.
+            seq >= par * 0.9
+        } else {
+            par < seq * 0.9
+        };
+        if next_par != self.adapt_use_par {
+            self.adapt_windows_in_mode = 0;
+        }
+        self.adapt_use_par = next_par;
+        self.adapt_mark = Some((t_now, now));
+        self.adapt_window_end = now + Self::ADAPT_WINDOW;
+    }
+
+    /// Shard-plan rebalance period in simulated cycles. Plans are
+    /// rebuilt only at these boundaries, in the serial tail, from cost
+    /// counters each phase-1 worker accumulated over its own SMs — the
+    /// rebuild is host-side scheduling and cannot perturb results.
+    const REBALANCE_WINDOW: Cycle = 4096;
 
     /// Smallest estimated jump worth the fast-forward machinery, and the
     /// initial value of the adaptive threshold. Tuned on SCN
@@ -933,12 +1164,24 @@ impl Gpu {
     /// maturing hit pipe, a warp execution-latency timer, or a prefetch
     /// age-out. Everything else in the machine moves only as a
     /// consequence of one of these.
+    ///
+    /// Networks contribute their *credit-aware* progress bound rather
+    /// than the raw arrival bound: a pipe arrival into a link whose
+    /// ejection queue is out of credits merely joins the blocked queue —
+    /// nothing observable changes, because the queue's consumer is
+    /// provably quiescent for the whole window (the skip gate required
+    /// `!can_progress`, which includes `has_ejected` on the reply nets
+    /// and consumer-checked request heads, and a frozen consumer frees
+    /// no credits). Horizon jumps therefore extend straight across
+    /// backpressured spans; the stall events naive stepping would have
+    /// recorded inside them are reconstructed analytically by
+    /// [`Network::account_skipped_window`] in [`Self::skip_to`].
     fn horizon(&self, now: Cycle) -> Option<Cycle> {
         let nets = [
-            self.req_net.earliest_arrival(now),
-            self.pf_req_net.earliest_arrival(now),
-            self.reply_net.earliest_arrival(now),
-            self.pf_reply_net.earliest_arrival(now),
+            self.req_net.earliest_progress(now),
+            self.pf_req_net.earliest_progress(now),
+            self.reply_net.earliest_progress(now),
+            self.pf_reply_net.earliest_progress(now),
         ];
         nets.into_iter()
             .chain(self.sms.iter().map(|sm| sm.next_event(now)))
@@ -960,16 +1203,16 @@ impl Gpu {
         for p in &mut self.partitions {
             p.account_skipped(delta);
         }
-        // Each network records one stall event per blocked ejection head
-        // per cycle; the blocked set cannot change inside the window.
-        let b = self.req_net.blocked_heads(now);
-        self.req_net.add_skipped_stalls(delta * b);
-        let b = self.pf_req_net.blocked_heads(now);
-        self.pf_req_net.add_skipped_stalls(delta * b);
-        let b = self.reply_net.blocked_heads(now);
-        self.reply_net.add_skipped_stalls(delta * b);
-        let b = self.pf_reply_net.blocked_heads(now);
-        self.pf_reply_net.add_skipped_stalls(delta * b);
+        // Each creditless link records one stall event per cycle its
+        // pipe head sits arrived-but-blocked. Credit-aware horizons can
+        // extend a window past a head's *arrival* (the arrival is a
+        // non-event behind a frozen consumer), so the per-link window
+        // accounting clamps each head's stall span to its own arrival
+        // cycle — exactly what naive stepping would have recorded.
+        self.req_net.account_skipped_window(now, target);
+        self.pf_req_net.account_skipped_window(now, target);
+        self.reply_net.account_skipped_window(now, target);
+        self.pf_reply_net.account_skipped_window(now, target);
         self.skipped_cycles += delta;
         self.skip_events += 1;
         self.cycle = target;
@@ -1030,6 +1273,11 @@ impl Gpu {
         if t < 2 {
             return 1;
         }
+        // The adaptive controller's per-window verdict overrides the
+        // static thread request (measured, not guessed).
+        if self.adaptive && !self.adapt_use_par {
+            return 1;
+        }
         if self.ff_active() && self.sm_active_estimate < 2 {
             return 1;
         }
@@ -1058,8 +1306,20 @@ impl Gpu {
             self.sm_shard_min.resize(t, Cycle::MAX);
             self.sm_shard_skips.resize(t, 0);
         }
+        if self.sm_plan.len() != t + 1 {
+            // Width changed (including seq↔par flips): restart from the
+            // equal plan; measured costs re-skew it at the next
+            // rebalance boundary.
+            self.sm_plan = (0..=t).map(|w| w * self.cfg.num_sms / t).collect();
+            self.sm_cost.fill(0);
+            self.next_rebalance = self.cycle + self.rebalance_window;
+        }
         if t > 1 && self.pool.as_ref().map(ShardPool::width) != Some(t) {
-            self.pool = Some(ShardPool::new(t - 1));
+            let pool = ShardPool::with_affinity(t - 1, self.pin_workers);
+            // One-time calibration: the measured empty-dispatch cost is
+            // the adaptive controller's floor for "can parallel win".
+            self.pool_dispatch_ns = pool.measure_dispatch_ns();
+            self.pool = Some(pool);
         }
     }
 
@@ -1089,6 +1349,8 @@ impl Gpu {
                 staging,
                 shard_min: self.sm_shard_min.as_mut_ptr(),
                 shard_skips: self.sm_shard_skips.as_mut_ptr(),
+                plan: self.sm_plan.as_ptr(),
+                cost: self.sm_cost.as_mut_ptr(),
                 kernel: &self.kernel,
                 num_sms: self.cfg.num_sms,
                 threads: t,
@@ -1185,6 +1447,16 @@ impl Gpu {
         // with a different worker count) starts from empty.
         for stage in &mut self.staging {
             stage.clear();
+        }
+
+        // Serial tail (d): at rebalance boundaries, rebuild the shard
+        // plan from the window's measured per-SM cost. Serial, host-only
+        // — the plan changes which worker steps which SM, never what any
+        // SM computes, so bit-identity is untouched by construction.
+        if t > 1 && now >= self.next_rebalance {
+            self.sm_plan = plan_from_costs(&self.sm_cost, t);
+            self.sm_cost.fill(0);
+            self.next_rebalance = now + self.rebalance_window;
         }
 
         self.cycle += 1;
@@ -1311,6 +1583,15 @@ fn threads_from_env() -> usize {
         .and_then(|v| v.parse::<usize>().ok())
         .filter(|&n| n >= 1)
         .unwrap_or(1)
+}
+
+/// Adaptive engine selection from the environment: on unless
+/// `GPU_SIM_ADAPT` is set to `0`/`off`/`false`.
+fn adaptive_from_env() -> bool {
+    match std::env::var("GPU_SIM_ADAPT") {
+        Ok(v) => !matches!(v.as_str(), "0" | "off" | "false"),
+        Err(_) => true,
+    }
 }
 
 /// Compile-time guarantee that everything the phase contexts hand to
@@ -1517,11 +1798,12 @@ mod tests {
         // the gpu-level smoke for both fast-forward settings.
         for ff in [true, false] {
             let mut reference: Option<Stats> = None;
-            for threads in [1usize, 2, 4] {
+            for threads in [1usize, 2, 3, 4] {
                 let cfg = GpuConfig::test_small();
                 let mut gpu = Gpu::new(cfg, stride_kernel(64, 4), &*null_factory());
                 gpu.set_fast_forward(ff);
                 gpu.set_sim_threads(threads);
+                gpu.set_adaptive(false); // force the parallel engine on
                 let stats = gpu.run(1_000_000);
                 match &reference {
                     None => reference = Some(stats),
@@ -1541,6 +1823,7 @@ mod tests {
             seq.set_sim_threads(1);
             let mut par = Gpu::new(cfg, stride_kernel(32, 4), &*null_factory());
             par.set_sim_threads(3);
+            par.set_adaptive(false);
             assert_eq!(
                 seq.run_launches(2, cap),
                 par.run_launches(2, cap),
@@ -1554,6 +1837,7 @@ mod tests {
         let cfg = GpuConfig::test_small();
         let mut gpu = Gpu::new(cfg, stride_kernel(16, 4), &*null_factory());
         gpu.set_sim_threads(2);
+        gpu.set_adaptive(false);
         let stats = gpu.run(1_000_000);
         assert_eq!(stats.ctas_completed, 16);
         let report = gpu.link_report();
@@ -1566,6 +1850,113 @@ mod tests {
         // Every ring on the memory path is sized from its producers'
         // in-flight bounds, so a run must never hit the growth valve.
         assert_eq!(report.total().grows, 0, "steady state must not allocate");
+    }
+
+    #[test]
+    fn plan_from_costs_balances_and_stays_contiguous() {
+        // All-equal costs reduce to the equal-count plan.
+        assert_eq!(plan_from_costs(&[0; 15], 4), vec![0, 4, 8, 12, 15]);
+        // One hot SM pulls a whole shard to itself.
+        let mut costs = vec![0u64; 8];
+        costs[0] = 1_000;
+        let plan = plan_from_costs(&costs, 4);
+        assert_eq!(plan[0], 0);
+        assert_eq!(plan[4], 8);
+        assert_eq!(plan[1], 1, "the hot SM should own shard 0 alone");
+        // Invariants for arbitrary-ish inputs: full coverage, ascending.
+        for t in 1..=6 {
+            for costs in [
+                vec![0u64; 6],
+                vec![5, 0, 0, 0, 0, 5],
+                vec![1, 2, 3, 4, 5, 6],
+                vec![100, 1, 100, 1, 100, 1],
+            ] {
+                let plan = plan_from_costs(&costs, t);
+                assert_eq!(plan.len(), t + 1);
+                assert_eq!(plan[0], 0);
+                assert_eq!(plan[t], costs.len());
+                assert!(plan.windows(2).all(|w| w[0] <= w[1]), "{plan:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn skewed_shard_plans_are_bit_identical() {
+        // A deliberately terrible plan (one worker owns almost every SM)
+        // must still produce identical stats — the contiguous-ascending
+        // property, not balance, is what the equivalence proof uses.
+        // test_small has only 2 SMs; widen it so the skew is real.
+        let mut cfg = GpuConfig::test_small();
+        cfg.num_sms = 8;
+        let n = cfg.num_sms;
+        let mut seq = Gpu::new(cfg.clone(), stride_kernel(32, 4), &*null_factory());
+        seq.set_sim_threads(1);
+        let mut par = Gpu::new(cfg, stride_kernel(32, 4), &*null_factory());
+        par.set_sim_threads(3);
+        par.set_adaptive(false);
+        // Disable fast-forward on both sides so the near-drain
+        // sequential fallback can't swap the skewed plan out mid-run.
+        seq.set_fast_forward(false);
+        par.set_fast_forward(false);
+        // Keep the skewed plan alive for the whole run.
+        par.set_shard_rebalance_window(1_000_000);
+        par.set_shard_plan(vec![0, 1, 2, n]);
+        assert_eq!(seq.run(1_000_000), par.run(1_000_000));
+    }
+
+    #[test]
+    fn frequent_rebalancing_is_bit_identical() {
+        // Rebalance every few cycles so many different measured plans
+        // are exercised inside one run.
+        let mut cfg = GpuConfig::test_small();
+        cfg.num_sms = 8;
+        let mut seq = Gpu::new(cfg.clone(), stride_kernel(32, 4), &*null_factory());
+        seq.set_sim_threads(1);
+        let mut par = Gpu::new(cfg, stride_kernel(32, 4), &*null_factory());
+        par.set_sim_threads(4);
+        par.set_adaptive(false);
+        par.set_shard_rebalance_window(7);
+        assert_eq!(seq.run(1_000_000), par.run(1_000_000));
+    }
+
+    #[test]
+    fn adaptive_engine_selection_is_bit_identical() {
+        // The controller may switch engines mid-run at window
+        // boundaries; every mixture must match pure-sequential.
+        let cfg = GpuConfig::test_small();
+        let mut seq = Gpu::new(cfg.clone(), stride_kernel(64, 4), &*null_factory());
+        seq.set_sim_threads(1);
+        seq.set_adaptive(false);
+        let mut adaptive = Gpu::new(cfg, stride_kernel(64, 4), &*null_factory());
+        adaptive.set_sim_threads(4);
+        adaptive.set_adaptive(true);
+        assert_eq!(seq.run(1_000_000), adaptive.run(1_000_000));
+    }
+
+    #[test]
+    fn pinning_choice_is_bit_identical() {
+        let cfg = GpuConfig::test_small();
+        let mut reference: Option<Stats> = None;
+        for pin in [false, true] {
+            let mut gpu = Gpu::new(cfg.clone(), stride_kernel(32, 4), &*null_factory());
+            gpu.set_sim_threads(2);
+            gpu.set_adaptive(false);
+            gpu.set_pinning(pin);
+            let stats = gpu.run(1_000_000);
+            match &reference {
+                None => reference = Some(stats),
+                Some(want) => assert_eq!(&stats, want, "pin={pin} diverged"),
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "plan must cover every SM")]
+    fn malformed_shard_plan_is_rejected() {
+        let cfg = GpuConfig::test_small(); // 2 SMs
+        let mut gpu = Gpu::new(cfg, stride_kernel(8, 4), &*null_factory());
+        gpu.set_sim_threads(2);
+        gpu.set_shard_plan(vec![0, 1, 1]);
     }
 
     #[test]

@@ -187,6 +187,38 @@ impl<T> Network<T> {
             .min()
     }
 
+    /// Earliest future cycle at which any link could make progress a
+    /// consumer can observe — the credit-aware variant of
+    /// [`Self::earliest_arrival`] used for fast-forward horizon
+    /// planning. Links whose ejection queue is out of credits are
+    /// skipped entirely: during a skipped window no consumer pops, so a
+    /// pipe arrival into a creditless link only lengthens the blocked
+    /// queue and changes nothing observable. Only meaningful when every
+    /// ejection queue has already been drained into its quiescent
+    /// consumer (the skip gate checks [`Self::has_ejected`]).
+    pub fn earliest_progress(&self, now: Cycle) -> Option<Cycle> {
+        self.links
+            .iter()
+            .filter_map(|link| link.earliest_progress(now))
+            .min()
+    }
+
+    /// Account, in bulk, exactly the stall events naive per-cycle
+    /// stepping would have recorded over the skipped window
+    /// `now..target`: for each creditless link, its pipe head (current
+    /// or arriving mid-window at `t`) blocks for `target - max(t, now)`
+    /// cycles. Supersedes `blocked_heads(now) * delta`, which missed
+    /// heads arriving inside windows extended past their arrival by
+    /// [`Self::earliest_progress`].
+    pub fn account_skipped_window(&mut self, now: Cycle, target: Cycle) {
+        let events: u64 = self
+            .links
+            .iter()
+            .map(|link| link.window_stalls(now, target))
+            .sum();
+        self.skipped_stall_events += events;
+    }
+
     /// Occupancy/stall counters aggregated over every link (max of high
     /// waters, sum of stalls and grows). Host-side reporting only — not
     /// part of the bit-identity contract.
@@ -301,6 +333,27 @@ mod tests {
         assert_eq!(n.earliest_arrival(5), Some(8));
         assert_eq!(n.pop_one(0), Some(1));
         assert!(n.can_deliver(5), "freed slot unblocks the head");
+    }
+
+    #[test]
+    fn credit_aware_horizon_skips_backpressured_links() {
+        let mut n: Network<u32> = Network::new(2, 5, 1, 1, 4);
+        n.send(0, 0, 1); // arrives at 5
+        n.send(0, 0, 2); // arrives at 5, will block behind the first
+        n.step(5);
+        assert_eq!(n.pop_one(0), Some(1));
+        n.step(5); // message 2 takes the freed credit: dst 0 full again
+        n.send(5, 0, 3); // arrives at 10 behind a creditless queue
+        n.send(7, 1, 4); // arrives at 12 on a free link
+        // Plain arrival horizon sees dst 0's t=10; the credit-aware one
+        // knows dst 0 cannot progress and reports dst 1's t=12.
+        assert_eq!(n.earliest_arrival(6), Some(10));
+        assert_eq!(n.earliest_progress(6), Some(12));
+        // Bulk window accounting: dst 0's head arrives at 10 and blocks
+        // for cycles 10 and 11 of the window 6..12.
+        let before = n.stall_events();
+        n.account_skipped_window(6, 12);
+        assert_eq!(n.stall_events() - before, 2);
     }
 
     #[test]

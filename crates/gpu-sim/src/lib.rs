@@ -61,6 +61,7 @@ pub mod prefetch;
 pub mod sched;
 pub mod sm;
 pub mod stats;
+pub mod topo;
 pub mod trace;
 pub mod types;
 pub mod warp;

@@ -87,16 +87,60 @@ pub struct ShardPool {
 impl ShardPool {
     /// Pool with `helpers` background threads (total parallelism
     /// `helpers + 1`: the thread calling [`Self::run`] participates as
-    /// worker 0).
+    /// worker 0). No worker pinning and no topology probing — this
+    /// constructor stays runnable under interpreters (miri) that cannot
+    /// read procfs or issue affinity syscalls; the cycle engine uses
+    /// [`Self::with_affinity`] instead.
     pub fn new(helpers: usize) -> Self {
         let cores = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
         let oversubscribed = helpers + 1 > cores;
+        let (spins, yields) = if oversubscribed { (1, 2) } else { (SPINS, YIELDS) };
+        Self::build(helpers, spins, yields, &[])
+    }
+
+    /// Pool with topology-refined spin budgets and optional worker
+    /// pinning. Budgets come in three tiers from the detected host
+    /// layout ([`crate::topo::host_topology`]): full spinning when every
+    /// worker gets its own physical core, a reduced budget when workers
+    /// must share SMT siblings (a spinning hyperthread steals issue
+    /// slots from its sibling's real work), and near-zero when logical
+    /// CPUs themselves are oversubscribed. When `pin` is true (and
+    /// `GPU_SIM_NO_PIN` is not set), each *helper* thread is pinned to
+    /// its own logical CPU, spread one per physical core before reusing
+    /// SMT siblings; worker 0 is the calling thread and is never pinned
+    /// (the caller may be a test harness thread with its own affinity).
+    pub fn with_affinity(helpers: usize, pin: bool) -> Self {
+        let topo = crate::topo::host_topology();
+        let workers = helpers + 1;
+        let (spins, yields) = if topo.oversubscribed(workers) {
+            (1, 2)
+        } else if topo.smt_sharing(workers) {
+            (SPINS / 8, YIELDS / 4)
+        } else {
+            (SPINS, YIELDS)
+        };
+        let pin_cpus: Vec<Option<usize>> = (0..helpers)
+            .map(|i| {
+                if pin && crate::topo::pinning_enabled() {
+                    // Worker index i+1; worker 0 (caller) stays unpinned
+                    // but still owns slot 0 of the breadth-first layout,
+                    // so helpers start at layout position 1.
+                    topo.pin_cpu_for(i + 1)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        Self::build(helpers, spins, yields, &pin_cpus)
+    }
+
+    fn build(helpers: usize, spins: u32, yields: u32, pin_cpus: &[Option<usize>]) -> Self {
         let shared = Arc::new(Shared {
             width: helpers + 1,
-            spins: if oversubscribed { 1 } else { SPINS },
-            yields: if oversubscribed { 2 } else { YIELDS },
+            spins,
+            yields,
             epoch: AtomicU64::new(0),
             job: UnsafeCell::new(None),
             job2: UnsafeCell::new(None),
@@ -111,13 +155,41 @@ impl ShardPool {
         let handles = (0..helpers)
             .map(|i| {
                 let shared = Arc::clone(&shared);
+                let pin_cpu = pin_cpus.get(i).copied().flatten();
                 std::thread::Builder::new()
                     .name(format!("gpu-sim-shard-{}", i + 1))
-                    .spawn(move || worker_loop(&shared, i + 1))
+                    .spawn(move || {
+                        if let Some(cpu) = pin_cpu {
+                            // Best-effort: a failed affinity call only
+                            // costs locality, never correctness.
+                            let _ = crate::topo::pin_current_thread(cpu);
+                        }
+                        worker_loop(&shared, i + 1)
+                    })
                     .expect("spawn shard worker")
             })
             .collect();
         ShardPool { shared, handles }
+    }
+
+    /// Measure the round-trip cost of one empty two-phase dispatch
+    /// (publish + mid-phase barrier + join), in nanoseconds, as a
+    /// min-of-N to shed scheduler noise. The cycle engine compares this
+    /// against measured sequential cycle cost to decide when paying the
+    /// pool can possibly win. Zero-helper pools report ~0 (inline
+    /// calls).
+    pub fn measure_dispatch_ns(&self) -> u64 {
+        let noop = |_w: usize| {};
+        for _ in 0..8 {
+            self.run2(&noop, &noop);
+        }
+        let mut best = u64::MAX;
+        for _ in 0..32 {
+            let t0 = std::time::Instant::now();
+            self.run2(&noop, &noop);
+            best = best.min(t0.elapsed().as_nanos() as u64);
+        }
+        best.max(1)
     }
 
     /// Total parallelism (helper threads + the calling thread).
@@ -438,6 +510,43 @@ mod tests {
         }
         // 25 run2 dispatches × 3 workers × 2 phases + 25 run × 3.
         assert_eq!(count.load(Ordering::Relaxed), 25 * 3 * 2 + 25 * 3);
+    }
+
+    // Topology probing reads procfs/sysfs and pinning issues a raw
+    // syscall; neither exists under miri, so these two stay native-only
+    // (the miri CI job runs the rest of this module).
+    #[test]
+    #[cfg(not(miri))]
+    fn with_affinity_pools_work_pinned_and_unpinned() {
+        for pin in [false, true] {
+            let pool = ShardPool::with_affinity(2, pin);
+            assert_eq!(pool.width(), 3);
+            let hits: Vec<AtomicU32> = (0..3).map(|_| AtomicU32::new(0)).collect();
+            for _ in 0..50 {
+                pool.run2(
+                    &|w| {
+                        hits[w].fetch_add(1, Ordering::Relaxed);
+                    },
+                    &|w| {
+                        hits[w].fetch_add(1, Ordering::Relaxed);
+                    },
+                );
+            }
+            for (w, h) in hits.iter().enumerate() {
+                assert_eq!(h.load(Ordering::Relaxed), 100, "pin={pin} worker {w}");
+            }
+        }
+    }
+
+    #[test]
+    #[cfg(not(miri))]
+    fn dispatch_cost_is_measurable() {
+        let pool = ShardPool::with_affinity(1, false);
+        let ns = pool.measure_dispatch_ns();
+        assert!(ns >= 1);
+        // An empty dispatch must stay far under a millisecond even on a
+        // loaded single-core host.
+        assert!(ns < 5_000_000, "dispatch measured at {ns}ns");
     }
 
     #[test]

@@ -496,6 +496,43 @@ impl<T> Link<T> {
         self.pipe.front().map(|&(t, _)| t).filter(|&t| t > now)
     }
 
+    /// Earliest future cycle at which this link could make *progress* a
+    /// consumer can observe, for fast-forward horizon planning. Unlike
+    /// [`Link::earliest_arrival`], a link whose eject queue is out of
+    /// credits reports `None`: with zero credits, a pipe arrival only
+    /// joins the stalled head — nothing becomes deliverable until a
+    /// consumer pops the eject queue, and consumers are by definition
+    /// quiescent for the whole window being planned. Callers must only
+    /// use this when the eject queue has already been drained into the
+    /// quiescent consumer (the skip gate checks `has_pending`).
+    #[inline]
+    pub fn earliest_progress(&self, now: Cycle) -> Option<Cycle> {
+        if self.eject.credits() == 0 {
+            None
+        } else {
+            self.earliest_arrival(now)
+        }
+    }
+
+    /// Stall events this link would accrue if every cycle in
+    /// `now..target` were stepped naively with no consumer pops: one per
+    /// cycle the pipe head sits arrived-but-blocked on a creditless
+    /// eject queue. With credits available the head would move instead,
+    /// so the count is zero; with zero credits the head (arriving at
+    /// `t`, possibly mid-window) blocks for `target - max(t, now)`
+    /// cycles. Used by the fast-forward path to keep congestion
+    /// diagnostics identical to naive stepping across skipped windows.
+    #[inline]
+    pub fn window_stalls(&self, now: Cycle, target: Cycle) -> u64 {
+        if self.eject.credits() > 0 {
+            return 0;
+        }
+        match self.pipe.front() {
+            Some(&(t, _)) => target.saturating_sub(t.max(now)),
+            None => 0,
+        }
+    }
+
     /// Messages anywhere in this link (pipe + eject queue).
     #[inline]
     pub fn in_flight(&self) -> usize {
@@ -619,6 +656,55 @@ mod tests {
         l.step(5);
         assert_eq!(l.pop_one(), Some(2));
         assert_eq!(l.in_flight(), 0);
+    }
+
+    #[test]
+    fn earliest_progress_ignores_creditless_links() {
+        let mut l: Link<u32> = Link::new(1, 4);
+        l.send(5, 1);
+        l.send(7, 2);
+        // Credits available: progress == arrival.
+        assert_eq!(l.earliest_progress(4), Some(5));
+        l.step(5);
+        assert_eq!(l.pop_one(), Some(1));
+        l.step(6);
+        // Head (t=7) not yet arrived, credit free: still a progress event.
+        assert_eq!(l.earliest_progress(6), Some(7));
+        // Fill the eject queue: the t=7 arrival can only join the queue
+        // of blocked messages — no observable progress.
+        l.send(9, 3);
+        l.step(7);
+        assert!(l.has_pending());
+        assert_eq!(l.earliest_arrival(7), Some(9));
+        assert_eq!(l.earliest_progress(7), None);
+    }
+
+    #[test]
+    fn window_stalls_reproduces_naive_per_cycle_accounting() {
+        // Naive reference: step every cycle, count stall_events.
+        let make = || {
+            let mut l: Link<u32> = Link::new(1, 4);
+            l.send(2, 10); // will eject at t=2, consuming the only credit
+            l.send(5, 11); // arrives mid-window, blocks from t=5
+            l
+        };
+        let mut naive = make();
+        for now in 0..=12 {
+            naive.step(now);
+        }
+        let mut fast = make();
+        fast.step(0);
+        fast.step(1);
+        fast.step(2); // head ejects, credit drops to 0
+        let analytic = fast.window_stalls(3, 13); // window covers 3..=12
+        fast.stall_events += analytic;
+        assert_eq!(fast.stall_events, naive.stall_events);
+        assert_eq!(analytic, 8, "t=5 head blocked for cycles 5..=12");
+        // No credits but an empty pipe: nothing to stall.
+        let mut idle: Link<u32> = Link::new(1, 4);
+        idle.send(0, 1);
+        idle.step(0);
+        assert_eq!(idle.window_stalls(1, 100), 0);
     }
 
     #[test]

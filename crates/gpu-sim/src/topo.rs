@@ -1,0 +1,323 @@
+//! Host CPU topology discovery and worker pinning.
+//!
+//! The parallel cycle engine ([`crate::pool::ShardPool`]) wants to know
+//! three things about the machine it landed on: how many logical CPUs
+//! are usable, whether those CPUs share physical cores (SMT), and which
+//! logical CPU a given worker should be pinned to so that shards stop
+//! migrating between caches mid-simulation. Everything here is derived
+//! from `/proc/cpuinfo` and `/sys/devices/system/cpu` with no external
+//! crates, mirroring the cpu-detect idiom used by Linux scheduler
+//! projects; on non-Linux (or non-x86_64) targets every operation
+//! degrades to a harmless no-op so the simulator stays portable.
+//!
+//! Pinning is best-effort and opt-out: setting `GPU_SIM_NO_PIN` (to
+//! anything but `0`/`off`) disables the `sched_setaffinity` calls while
+//! leaving topology *detection* intact, so bench headers still record
+//! the host shape.
+
+use std::sync::OnceLock;
+
+/// One logical CPU as seen in `/proc/cpuinfo` / sysfs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogicalCpu {
+    /// Logical CPU index (the `processor` field; what `sched_setaffinity`
+    /// masks address).
+    pub id: usize,
+    /// Physical package (`physical id`), 0 when the kernel does not
+    /// report one.
+    pub package: usize,
+    /// Core index within the package (`core id`), defaulting to the
+    /// logical index so distinct CPUs never collapse spuriously.
+    pub core: usize,
+}
+
+/// A snapshot of the host CPU layout, taken once per process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostTopology {
+    /// Logical CPUs visible to this process, ascending by id.
+    pub cpus: Vec<LogicalCpu>,
+    /// Distinct physical cores across all packages.
+    pub physical_cores: usize,
+    /// Whether at least one physical core hosts two or more logical
+    /// CPUs (hyper-threading / SMT active).
+    pub smt: bool,
+    /// The `model name` string from `/proc/cpuinfo`, empty when
+    /// unavailable.
+    pub model: String,
+}
+
+impl HostTopology {
+    /// Number of logical CPUs.
+    pub fn logical_cpus(&self) -> usize {
+        self.cpus.len()
+    }
+
+    /// Whether running `workers` busy threads oversubscribes the host
+    /// (more runnable spinners than logical CPUs).
+    pub fn oversubscribed(&self, workers: usize) -> bool {
+        workers > self.logical_cpus().max(1)
+    }
+
+    /// Whether `workers` busy threads exceed the *physical* core count,
+    /// i.e. at least two of them must share an SMT pair even when the
+    /// logical CPU count is sufficient.
+    pub fn smt_sharing(&self, workers: usize) -> bool {
+        workers > self.physical_cores.max(1)
+    }
+
+    /// Pick a logical CPU for worker `i`, spreading workers one per
+    /// physical core first (lowest logical sibling of each core) and
+    /// only then reusing SMT siblings. Deterministic for a given
+    /// topology. Returns `None` when no CPUs were detected.
+    pub fn pin_cpu_for(&self, i: usize) -> Option<usize> {
+        if self.cpus.is_empty() {
+            return None;
+        }
+        // Group logical CPUs by (package, core), keeping ascending id
+        // order within each group; then lay them out breadth-first:
+        // first sibling of every core, second sibling of every core, ...
+        let mut groups: Vec<((usize, usize), Vec<usize>)> = Vec::new();
+        for cpu in &self.cpus {
+            let key = (cpu.package, cpu.core);
+            match groups.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, v)) => v.push(cpu.id),
+                None => groups.push((key, vec![cpu.id])),
+            }
+        }
+        let mut order = Vec::with_capacity(self.cpus.len());
+        let mut depth = 0;
+        while order.len() < self.cpus.len() {
+            for (_, ids) in &groups {
+                if let Some(&id) = ids.get(depth) {
+                    order.push(id);
+                }
+            }
+            depth += 1;
+        }
+        Some(order[i % order.len()])
+    }
+}
+
+/// Parse the `/proc/cpuinfo` content in `text`; exposed (crate-private)
+/// for unit tests with canned fixtures.
+fn parse_cpuinfo(text: &str) -> (Vec<LogicalCpu>, String) {
+    let mut cpus = Vec::new();
+    let mut model = String::new();
+    let mut cur: Option<LogicalCpu> = None;
+    for line in text.lines() {
+        let mut parts = line.splitn(2, ':');
+        let key = parts.next().unwrap_or("").trim();
+        let val = parts.next().unwrap_or("").trim();
+        match key {
+            "processor" => {
+                if let Some(c) = cur.take() {
+                    cpus.push(c);
+                }
+                if let Ok(id) = val.parse::<usize>() {
+                    cur = Some(LogicalCpu {
+                        id,
+                        package: 0,
+                        core: id,
+                    });
+                }
+            }
+            "physical id" => {
+                if let (Some(c), Ok(v)) = (cur.as_mut(), val.parse::<usize>()) {
+                    c.package = v;
+                }
+            }
+            "core id" => {
+                if let (Some(c), Ok(v)) = (cur.as_mut(), val.parse::<usize>()) {
+                    c.core = v;
+                }
+            }
+            "model name" if model.is_empty() => model = val.to_string(),
+            _ => {}
+        }
+    }
+    if let Some(c) = cur.take() {
+        cpus.push(c);
+    }
+    cpus.sort_by_key(|c| c.id);
+    (cpus, model)
+}
+
+/// Read `/sys/devices/system/cpu/cpuN/topology/{core_id,physical_package_id}`
+/// to refine `cpus` in place; missing files leave the cpuinfo-derived
+/// values untouched.
+fn refine_from_sysfs(cpus: &mut [LogicalCpu]) {
+    for cpu in cpus.iter_mut() {
+        let base = format!("/sys/devices/system/cpu/cpu{}/topology", cpu.id);
+        if let Some(core) = read_sys_usize(&format!("{base}/core_id")) {
+            cpu.core = core;
+        }
+        if let Some(pkg) = read_sys_usize(&format!("{base}/physical_package_id")) {
+            cpu.package = pkg;
+        }
+    }
+}
+
+fn read_sys_usize(path: &str) -> Option<usize> {
+    std::fs::read_to_string(path)
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+}
+
+fn detect_topology() -> HostTopology {
+    let text = std::fs::read_to_string("/proc/cpuinfo").unwrap_or_default();
+    let (mut cpus, model) = parse_cpuinfo(&text);
+    if cpus.is_empty() {
+        // Non-Linux or an empty procfs: synthesize a flat topology from
+        // available_parallelism so callers always get something sane.
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        cpus = (0..n)
+            .map(|id| LogicalCpu {
+                id,
+                package: 0,
+                core: id,
+            })
+            .collect();
+    }
+    refine_from_sysfs(&mut cpus);
+    finish_topology(cpus, model)
+}
+
+/// Derive the summary fields from a CPU list (shared with tests).
+fn finish_topology(cpus: Vec<LogicalCpu>, model: String) -> HostTopology {
+    let mut cores: Vec<(usize, usize)> = cpus.iter().map(|c| (c.package, c.core)).collect();
+    cores.sort_unstable();
+    cores.dedup();
+    let physical_cores = cores.len().max(1);
+    let smt = cpus.len() > physical_cores;
+    HostTopology {
+        cpus,
+        physical_cores,
+        smt,
+        model,
+    }
+}
+
+/// The process-wide cached topology snapshot.
+pub fn host_topology() -> &'static HostTopology {
+    static TOPO: OnceLock<HostTopology> = OnceLock::new();
+    TOPO.get_or_init(detect_topology)
+}
+
+/// Whether worker pinning is enabled for this process: true unless
+/// `GPU_SIM_NO_PIN` is set to something other than `0`/`off`.
+pub fn pinning_enabled() -> bool {
+    match std::env::var("GPU_SIM_NO_PIN") {
+        Ok(v) => matches!(v.as_str(), "" | "0" | "off"),
+        Err(_) => true,
+    }
+}
+
+/// Pin the *calling* thread to logical CPU `cpu`. Returns `true` when
+/// the affinity call succeeded, `false` on failure or on targets
+/// without an implementation. Never panics: pinning is purely a
+/// performance hint and the simulator's results do not depend on it.
+pub fn pin_current_thread(cpu: usize) -> bool {
+    pin_impl(cpu)
+}
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+fn pin_impl(cpu: usize) -> bool {
+    // sched_setaffinity(0, sizeof(mask), &mask) via raw syscall: the
+    // workspace carries no libc dependency and the calling convention
+    // is stable kernel ABI. A 1024-bit mask covers every kernel config
+    // in practice.
+    const WORDS: usize = 16; // 16 * 64 = 1024 CPUs
+    if cpu >= WORDS * 64 {
+        return false;
+    }
+    let mut mask = [0u64; WORDS];
+    mask[cpu / 64] = 1u64 << (cpu % 64);
+    let ret: i64;
+    unsafe {
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") 203i64 => ret, // __NR_sched_setaffinity
+            in("rdi") 0i64,                 // pid 0 = calling thread
+            in("rsi") (WORDS * 8) as i64,   // mask size in bytes
+            in("rdx") mask.as_ptr(),
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+    }
+    ret == 0
+}
+
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+fn pin_impl(_cpu: usize) -> bool {
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const XEON_2S_SMT: &str = "\
+processor\t: 0\nphysical id\t: 0\ncore id\t: 0\nmodel name\t: Xeon X\n\n\
+processor\t: 1\nphysical id\t: 0\ncore id\t: 1\nmodel name\t: Xeon X\n\n\
+processor\t: 2\nphysical id\t: 0\ncore id\t: 0\nmodel name\t: Xeon X\n\n\
+processor\t: 3\nphysical id\t: 0\ncore id\t: 1\nmodel name\t: Xeon X\n";
+
+    #[test]
+    fn parses_smt_pairs_and_model() {
+        let (cpus, model) = parse_cpuinfo(XEON_2S_SMT);
+        assert_eq!(model, "Xeon X");
+        assert_eq!(cpus.len(), 4);
+        let t = finish_topology(cpus, model);
+        assert_eq!(t.physical_cores, 2);
+        assert!(t.smt);
+        assert!(!t.oversubscribed(4));
+        assert!(t.oversubscribed(5));
+        assert!(t.smt_sharing(3));
+        assert!(!t.smt_sharing(2));
+    }
+
+    #[test]
+    fn pin_order_spreads_cores_before_siblings() {
+        let (cpus, model) = parse_cpuinfo(XEON_2S_SMT);
+        let t = finish_topology(cpus, model);
+        // Cores (0,0) -> cpus {0,2}, (0,1) -> cpus {1,3}; breadth-first
+        // order is 0,1 (first siblings) then 2,3 (second siblings).
+        assert_eq!(t.pin_cpu_for(0), Some(0));
+        assert_eq!(t.pin_cpu_for(1), Some(1));
+        assert_eq!(t.pin_cpu_for(2), Some(2));
+        assert_eq!(t.pin_cpu_for(3), Some(3));
+        assert_eq!(t.pin_cpu_for(4), Some(0)); // wraps
+    }
+
+    #[test]
+    fn empty_cpuinfo_yields_flat_fallback() {
+        let (cpus, model) = parse_cpuinfo("");
+        assert!(cpus.is_empty());
+        assert!(model.is_empty());
+        // detect_topology's fallback path: synthesize and summarize.
+        let t = finish_topology(
+            (0..3)
+                .map(|id| LogicalCpu {
+                    id,
+                    package: 0,
+                    core: id,
+                })
+                .collect(),
+            String::new(),
+        );
+        assert_eq!(t.physical_cores, 3);
+        assert!(!t.smt);
+        assert_eq!(t.pin_cpu_for(1), Some(1));
+    }
+
+    #[test]
+    fn host_detection_is_sane_and_cached() {
+        let t = host_topology();
+        assert!(t.logical_cpus() >= 1);
+        assert!(t.physical_cores >= 1);
+        assert!(std::ptr::eq(t, host_topology()));
+    }
+}

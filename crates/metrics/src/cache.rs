@@ -331,6 +331,10 @@ mod tests {
             fast_forward: Some(false),
             sim_threads: Some(4),
             max_cycles: None,
+            adaptive: Some(false),
+            pin: Some(false),
+            shard_rebalance_window: Some(7),
+            shard_plan: Some(vec![0, 1, 1, 2, 2]),
         };
         assert_eq!(a, job_digest(&spec(), &modes));
     }

@@ -29,12 +29,96 @@
 //! without code changes.
 
 use std::collections::hash_map::Entry;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 
 use crate::cache::{job_digest, CacheTier, ResultCache};
 use crate::harness::{run_one_with_opts, RunOpts, RunRecord, RunSpec};
+
+/// A set of job content keys that have already been computed elsewhere
+/// — a previous sweep's result archive, another machine's cache
+/// directory — used to skip resubmitting those points entirely.
+///
+/// Unlike the result cache (which still *answers* for a hit), a pruned
+/// job produces no record at all: the caller asked "run whatever this
+/// archive doesn't already cover".
+#[derive(Debug, Clone, Default)]
+pub struct PruneSet {
+    keys: HashSet<u128>,
+}
+
+impl PruneSet {
+    /// An empty set (prunes nothing).
+    pub fn new() -> Self {
+        PruneSet::default()
+    }
+
+    /// Add one content key.
+    pub fn insert(&mut self, key: u128) {
+        self.keys.insert(key);
+    }
+
+    /// Whether `key` is covered by the archive.
+    pub fn contains(&self, key: u128) -> bool {
+        self.keys.contains(&key)
+    }
+
+    /// Number of keys loaded.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True when the set prunes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Load keys from a results archive at `path`.
+    ///
+    /// * A **directory** is treated as a result-cache directory: every
+    ///   `<32-hex-key>.json` file contributes its stem.
+    /// * A **file** is scanned for quoted 32-hex-digit strings, which
+    ///   covers both a bare JSON array of keys and any report carrying a
+    ///   `"job_keys"` list (e.g. `BENCH_farm.json`), without needing a
+    ///   full JSON parser.
+    pub fn load(path: &Path) -> std::io::Result<PruneSet> {
+        let mut set = PruneSet::new();
+        if path.is_dir() {
+            for entry in std::fs::read_dir(path)? {
+                let p = entry?.path();
+                if p.extension().and_then(|e| e.to_str()) != Some("json") {
+                    continue;
+                }
+                if let Some(key) = p
+                    .file_stem()
+                    .and_then(|s| s.to_str())
+                    .and_then(parse_hex_key)
+                {
+                    set.insert(key);
+                }
+            }
+        } else {
+            let text = std::fs::read_to_string(path)?;
+            for piece in text.split('"').skip(1).step_by(2) {
+                if let Some(key) = parse_hex_key(piece) {
+                    set.insert(key);
+                }
+            }
+        }
+        Ok(set)
+    }
+}
+
+/// `"<32 hex digits>"` → key; anything else → `None`.
+fn parse_hex_key(s: &str) -> Option<u128> {
+    if s.len() == 32 && s.bytes().all(|b| b.is_ascii_hexdigit()) {
+        u128::from_str_radix(s, 16).ok()
+    } else {
+        None
+    }
+}
 
 /// One unit of farm work: a spec plus per-run engine overrides.
 #[derive(Debug, Clone)]
@@ -79,6 +163,9 @@ pub struct FarmStats {
     pub disk_hits: u64,
     /// Jobs that attached to an identical job earlier in the batch.
     pub dedup: u64,
+    /// Jobs skipped because their content key appeared in a caller-
+    /// supplied [`PruneSet`] archive (no record produced).
+    pub pruned: u64,
 }
 
 impl FarmStats {
@@ -139,19 +226,53 @@ impl<'c> Farm<'c> {
     pub fn run_streaming(
         &self,
         jobs: &[FarmJob],
-        mut on_result: impl FnMut(usize, &RunRecord),
+        on_result: impl FnMut(usize, &RunRecord),
     ) -> (Vec<RunRecord>, FarmStats) {
+        let (results, stats) = self.run_inner(jobs, &PruneSet::default(), on_result);
+        let records = results
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| r.unwrap_or_else(|| panic!("job {i} produced no record")))
+            .collect();
+        (records, stats)
+    }
+
+    /// Execute a batch, skipping every job whose content key appears in
+    /// `prune` (an archive of already-computed points). Pruned slots
+    /// come back as `None`; everything else behaves exactly like
+    /// [`Farm::run`]. `stats.pruned` counts the skips.
+    pub fn run_pruned(
+        &self,
+        jobs: &[FarmJob],
+        prune: &PruneSet,
+    ) -> (Vec<Option<RunRecord>>, FarmStats) {
+        self.run_inner(jobs, prune, |_, _| {})
+    }
+
+    fn run_inner(
+        &self,
+        jobs: &[FarmJob],
+        prune: &PruneSet,
+        mut on_result: impl FnMut(usize, &RunRecord),
+    ) -> (Vec<Option<RunRecord>>, FarmStats) {
         if jobs.is_empty() {
             return (Vec::new(), FarmStats::default());
         }
         // Submission dedup: only the first job with a given content key
         // executes; later identical jobs attach to it as waiters. Keys
         // are cheap (hashing, no simulation) but not free (the kernel IR
-        // is materialized), so each is computed once, up front.
+        // is materialized), so each is computed once, up front. Pruned
+        // keys never enter the dedup map at all: they own nothing, wait
+        // on nothing, and produce no record.
         let mut first: HashMap<u128, usize> = HashMap::new();
         let mut owners: Vec<usize> = Vec::new();
         let mut waiters: Vec<Vec<usize>> = jobs.iter().map(|_| Vec::new()).collect();
+        let mut pruned = 0u64;
         for (i, key) in jobs.iter().map(FarmJob::digest).enumerate() {
+            if prune.contains(key) {
+                pruned += 1;
+                continue;
+            }
             match first.entry(key) {
                 Entry::Vacant(v) => {
                     v.insert(i);
@@ -160,7 +281,16 @@ impl<'c> Farm<'c> {
                 Entry::Occupied(o) => waiters[*o.get()].push(i),
             }
         }
-        let dedup = (jobs.len() - owners.len()) as u64;
+        let dedup = jobs.len() as u64 - owners.len() as u64 - pruned;
+        if owners.is_empty() {
+            let stats = FarmStats {
+                jobs: jobs.len() as u64,
+                pruned,
+                dedup,
+                ..FarmStats::default()
+            };
+            return (jobs.iter().map(|_| None).collect(), stats);
+        }
         let keys: HashMap<usize, u128> = first.into_iter().map(|(k, i)| (i, k)).collect();
 
         let threads = self.threads.clamp(1, owners.len());
@@ -215,19 +345,15 @@ impl<'c> Farm<'c> {
             }
         });
 
-        let records = results
-            .into_iter()
-            .enumerate()
-            .map(|(i, r)| r.unwrap_or_else(|| panic!("job {i} produced no record")))
-            .collect();
         let stats = FarmStats {
             jobs: jobs.len() as u64,
             sims: sims.into_inner(),
             mem_hits: mem_hits.into_inner(),
             disk_hits: disk_hits.into_inner(),
             dedup,
+            pruned,
         };
-        (records, stats)
+        (results, stats)
     }
 }
 
@@ -301,6 +427,76 @@ mod tests {
         for (i, cycles) in seen {
             assert_eq!(cycles, recs[i].stats.cycles);
         }
+    }
+
+    #[test]
+    fn pruned_jobs_are_skipped_without_records() {
+        let cache = off_cache();
+        let farm = Farm::new(&cache, 2);
+        let jobs = vec![
+            FarmJob::new(RunSpec::small(Workload::Jc1, Engine::Baseline)),
+            FarmJob::new(RunSpec::small(Workload::Jc1, Engine::Caps)),
+            FarmJob::new(RunSpec::small(Workload::Jc1, Engine::Baseline)),
+        ];
+        let mut prune = PruneSet::new();
+        prune.insert(jobs[0].digest());
+        let (recs, stats) = farm.run_pruned(&jobs, &prune);
+        // Both BASE jobs share the pruned key: neither runs, and the
+        // duplicate counts as pruned, not dedup.
+        assert!(recs[0].is_none() && recs[2].is_none());
+        assert_eq!(recs[1].as_ref().map(|r| r.engine.as_str()), Some("CAPS"));
+        assert_eq!(stats.jobs, 3);
+        assert_eq!(stats.pruned, 2);
+        assert_eq!(stats.dedup, 0);
+        assert_eq!(stats.sims, 1);
+    }
+
+    #[test]
+    fn fully_pruned_batch_runs_nothing() {
+        let cache = off_cache();
+        let farm = Farm::new(&cache, 4);
+        let jobs = vec![FarmJob::new(RunSpec::small(Workload::Jc1, Engine::Baseline))];
+        let mut prune = PruneSet::new();
+        prune.insert(jobs[0].digest());
+        let (recs, stats) = farm.run_pruned(&jobs, &prune);
+        assert_eq!(recs.len(), 1);
+        assert!(recs[0].is_none());
+        assert_eq!(stats.pruned, 1);
+        assert_eq!(stats.sims, 0);
+    }
+
+    #[test]
+    fn prune_set_loads_from_file_and_directory() {
+        let dir = std::env::temp_dir().join(format!("caps-prune-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let key_a = 0x00112233445566778899aabbccddeeffu128;
+        let key_b = 0xfeedfacecafebeef0123456789abcdefu128;
+
+        // Directory form: result-cache layout, one <32-hex>.json per
+        // record; stray files are ignored.
+        std::fs::write(dir.join(format!("{key_a:032x}.json")), "{}").unwrap();
+        std::fs::write(dir.join("notes.txt"), "ignore me").unwrap();
+        std::fs::write(dir.join("short.json"), "{}").unwrap();
+        let set = PruneSet::load(&dir).unwrap();
+        assert_eq!(set.len(), 1);
+        assert!(set.contains(key_a) && !set.contains(key_b));
+
+        // File form: any report carrying quoted 32-hex keys, e.g. a
+        // farm summary with a job_keys array.
+        let report = dir.join("BENCH_farm.json");
+        std::fs::write(
+            &report,
+            format!(
+                "{{\"pruned\": 0, \"job_keys\": [\"{key_a:032x}\", \"{key_b:032x}\"], \"note\": \"x\"}}"
+            ),
+        )
+        .unwrap();
+        let set = PruneSet::load(&report).unwrap();
+        assert_eq!(set.len(), 2);
+        assert!(set.contains(key_a) && set.contains(key_b));
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

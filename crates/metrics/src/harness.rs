@@ -92,6 +92,19 @@ pub struct RunOpts {
     /// Cycle ceiling override (default [`caps_gpu_sim::gpu::DEFAULT_MAX_CYCLES`]);
     /// the differential suite uses it to bound full-scale runs.
     pub max_cycles: Option<u64>,
+    /// Measured seq-vs-par engine selection on/off (overrides
+    /// `GPU_SIM_ADAPT`). Benches force `Some(false)` so a requested
+    /// thread count is actually exercised.
+    pub adaptive: Option<bool>,
+    /// Pin phase-split workers to distinct cores (default on; the
+    /// `GPU_SIM_NO_PIN` environment opt-out still wins when set).
+    pub pin: Option<bool>,
+    /// Cycles between load-aware shard-plan rebalances.
+    pub shard_rebalance_window: Option<u64>,
+    /// Explicit initial shard plan (`sim_threads + 1` ascending SM
+    /// boundaries); the differential suite uses skewed plans to prove
+    /// any contiguous split is bit-identical.
+    pub shard_plan: Option<Vec<usize>>,
 }
 
 /// Execute one spec (blocking).
@@ -124,6 +137,18 @@ pub fn run_one_with_opts(spec: &RunSpec, opts: &RunOpts) -> RunRecord {
     }
     if let Some(n) = opts.sim_threads {
         gpu.set_sim_threads(n);
+    }
+    if let Some(on) = opts.adaptive {
+        gpu.set_adaptive(on);
+    }
+    if let Some(on) = opts.pin {
+        gpu.set_pinning(on);
+    }
+    if let Some(w) = opts.shard_rebalance_window {
+        gpu.set_shard_rebalance_window(w);
+    }
+    if let Some(plan) = &opts.shard_plan {
+        gpu.set_shard_plan(plan.clone());
     }
     let launches = match spec.scale {
         Scale::Full => spec.workload.launches(),

@@ -30,10 +30,12 @@ pub use cache::{job_digest, CacheCounters, CacheMode, ResultCache};
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use engine::Engine;
 pub use export::{from_json, load, save, to_json};
-pub use farm::{Farm, FarmJob, FarmStats};
+pub use farm::{Farm, FarmJob, FarmStats, PruneSet};
 pub use harness::{
     run_matrix, run_matrix_with_threads, run_one, run_one_with_fast_forward, run_one_with_opts,
     set_default_threads, RunOpts, RunRecord, RunSpec,
 };
 pub use report::{f3, geomean, mean, pct, Table};
-pub use sweep::{standard_axes, sweep, sweep_on, SweepPoint, SweepResult};
+pub use sweep::{
+    standard_axes, sweep, sweep_jobs, sweep_on, sweep_pruned, SweepPoint, SweepResult,
+};

@@ -10,7 +10,7 @@ use caps_gpu_sim::config::GpuConfig;
 use caps_workloads::{Scale, Workload};
 
 use crate::engine::Engine;
-use crate::farm::{Farm, FarmJob, FarmStats};
+use crate::farm::{Farm, FarmJob, FarmStats, PruneSet};
 use crate::harness::{default_threads, RunSpec};
 use crate::report::mean;
 
@@ -61,8 +61,79 @@ pub fn sweep_on(
     engine: Engine,
     scale: Scale,
 ) -> (SweepResult, FarmStats) {
+    sweep_pruned(farm, axis, points, workloads, engine, scale, &PruneSet::new())
+}
+
+/// [`sweep_on`] against a [`PruneSet`] archive: any `(point, workload,
+/// engine)` job whose content key appears in the archive is skipped
+/// entirely. A point with *any* pruned job gets a `NaN` speedup and a
+/// `"(pruned)"`-suffixed label — callers distinguish "measured here"
+/// from "already covered elsewhere" without re-simulating the latter.
+#[allow(clippy::too_many_arguments)]
+pub fn sweep_pruned(
+    farm: &Farm,
+    axis: &str,
+    points: Vec<SweepPoint>,
+    workloads: &[Workload],
+    engine: Engine,
+    scale: Scale,
+    prune: &PruneSet,
+) -> (SweepResult, FarmStats) {
+    let jobs = sweep_jobs(&points, workloads, engine, scale);
+    let (recs, stats) = farm.run_pruned(&jobs, prune);
+    let per_point = workloads.len() * 2;
+    let mut speedup = Vec::new();
+    let mut pruned_points = Vec::new();
+    for (pi, _) in points.iter().enumerate() {
+        let vals: Option<Vec<f64>> = (0..workloads.len())
+            .map(|wi| {
+                let base = recs[pi * per_point + wi * 2].as_ref()?.ipc();
+                let eng = recs[pi * per_point + wi * 2 + 1].as_ref()?.ipc();
+                Some(eng / base)
+            })
+            .collect();
+        match vals {
+            Some(vals) => {
+                speedup.push(mean(&vals));
+                pruned_points.push(false);
+            }
+            None => {
+                speedup.push(f64::NAN);
+                pruned_points.push(true);
+            }
+        }
+    }
+    let labels = points
+        .into_iter()
+        .zip(&pruned_points)
+        .map(|(p, &was_pruned)| {
+            if was_pruned {
+                format!("{} (pruned)", p.label)
+            } else {
+                p.label
+            }
+        })
+        .collect();
+    let result = SweepResult {
+        axis: axis.to_string(),
+        labels,
+        speedup,
+    };
+    (result, stats)
+}
+
+/// The farm jobs a sweep submits, in submission order: `points ×
+/// workloads × [baseline, engine]`, point-major. Public so sweep
+/// drivers can archive the batch's content keys ([`FarmJob::digest`])
+/// and prune them from later invocations.
+pub fn sweep_jobs(
+    points: &[SweepPoint],
+    workloads: &[Workload],
+    engine: Engine,
+    scale: Scale,
+) -> Vec<FarmJob> {
     let mut jobs = Vec::new();
-    for p in &points {
+    for p in points {
         for &w in workloads {
             for e in [Engine::Baseline, engine] {
                 let mut s = RunSpec::paper(w, e);
@@ -72,25 +143,7 @@ pub fn sweep_on(
             }
         }
     }
-    let (recs, stats) = farm.run(&jobs);
-    let per_point = workloads.len() * 2;
-    let mut speedup = Vec::new();
-    for (pi, _) in points.iter().enumerate() {
-        let vals: Vec<f64> = (0..workloads.len())
-            .map(|wi| {
-                let base = recs[pi * per_point + wi * 2].ipc();
-                let eng = recs[pi * per_point + wi * 2 + 1].ipc();
-                eng / base
-            })
-            .collect();
-        speedup.push(mean(&vals));
-    }
-    let result = SweepResult {
-        axis: axis.to_string(),
-        labels: points.into_iter().map(|p| p.label).collect(),
-        speedup,
-    };
-    (result, stats)
+    jobs
 }
 
 /// The four standard sensitivity axes, centred on Table III.
@@ -205,6 +258,42 @@ mod tests {
         assert_eq!(stats.dedup, 2);
         assert_eq!(stats.hits(), 0, "cache off: dedup alone collapses repeats");
         assert_eq!(r.speedup[0], r.speedup[1], "identical points, identical result");
+    }
+
+    #[test]
+    fn pruned_sweep_marks_covered_points() {
+        use crate::cache::{CacheMode, ResultCache};
+        use crate::farm::FarmJob;
+        let cache = ResultCache::new(CacheMode::Off, std::env::temp_dir().join("caps-sweep-unused"));
+        let farm = Farm::new(&cache, 2);
+        let base = GpuConfig::fermi_gtx480;
+        let mut big = base();
+        big.l1d.size_bytes = 64 * 1024;
+        let points = vec![
+            SweepPoint { label: "base".into(), config: base() },
+            SweepPoint { label: "64KB".into(), config: big.clone() },
+        ];
+        // Archive covers the base point's baseline job: the whole point
+        // is reported as pruned, the other point still measures.
+        let mut prune = PruneSet::new();
+        let mut covered = RunSpec::paper(Workload::Scn, Engine::Baseline);
+        covered.scale = Scale::Small;
+        covered.base_config = base();
+        prune.insert(FarmJob::new(covered).digest());
+        let (r, stats) = sweep_pruned(
+            &farm,
+            "axis",
+            points,
+            &[Workload::Scn],
+            Engine::Caps,
+            Scale::Small,
+            &prune,
+        );
+        assert_eq!(stats.pruned, 1);
+        assert_eq!(r.labels[0], "base (pruned)");
+        assert!(r.speedup[0].is_nan());
+        assert_eq!(r.labels[1], "64KB");
+        assert!(r.speedup[1] > 0.0);
     }
 
     #[test]

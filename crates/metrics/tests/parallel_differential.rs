@@ -16,9 +16,10 @@
 use caps_metrics::{run_one_with_opts, Engine, RunOpts, RunSpec};
 use caps_workloads::all_workloads;
 
-/// Thread counts under test. The host may have fewer cores (CI runs on
-/// 1–4); the engine must stay correct — and identical — regardless.
-const THREADS: [usize; 3] = [1, 2, 4];
+/// Thread counts under test, including an odd count whose equal split
+/// cannot be uniform. The host may have fewer cores (CI runs on 1–4);
+/// the engine must stay correct — and identical — regardless.
+const THREADS: [usize; 4] = [1, 2, 3, 4];
 
 fn assert_thread_counts_agree(spec: &RunSpec, max_cycles: Option<u64>, ff_modes: &[bool]) {
     for &fast_forward in ff_modes {
@@ -28,6 +29,12 @@ fn assert_thread_counts_agree(spec: &RunSpec, max_cycles: Option<u64>, ff_modes:
                 fast_forward: Some(fast_forward),
                 sim_threads: Some(threads),
                 max_cycles,
+                // Keep the requested thread count actually parallel:
+                // the adaptive controller would otherwise fall back to
+                // sequential on small hosts and the shards would never
+                // run.
+                adaptive: Some(false),
+                ..RunOpts::default()
             };
             let r = run_one_with_opts(spec, &opts);
             match &reference {
@@ -98,4 +105,112 @@ fn parallel_engine_matches_sequential_across_engines() {
         assert_thread_counts_agree(&RunSpec::small(Workload::Bfs, engine), None, &[true, false]);
         assert_thread_counts_agree(&RunSpec::small(Workload::Mm, engine), None, &[true, false]);
     }
+}
+
+/// Shared sequential baseline for the shard-shape tests below.
+fn seq_stats(spec: &RunSpec, max_cycles: Option<u64>) -> caps_metrics::RunRecord {
+    run_one_with_opts(
+        spec,
+        &RunOpts {
+            fast_forward: Some(true),
+            sim_threads: Some(1),
+            max_cycles,
+            adaptive: Some(false),
+            ..RunOpts::default()
+        },
+    )
+}
+
+/// Skewed explicit shard plans at full scale (15 SMs): one worker takes
+/// a single SM while another takes most of the machine. Any contiguous
+/// ascending plan preserves the serial staged-request order, so every
+/// split must be bit-identical to sequential.
+#[test]
+fn skewed_shard_plans_match_sequential() {
+    use caps_workloads::Workload;
+    let spec = RunSpec::paper(Workload::Ste, Engine::Caps);
+    let cap = Some(40_000);
+    let want = seq_stats(&spec, cap);
+    for plan in [vec![0, 1, 2, 15], vec![0, 13, 14, 15], vec![0, 5, 10, 15]] {
+        let r = run_one_with_opts(
+            &spec,
+            &RunOpts {
+                fast_forward: Some(true),
+                sim_threads: Some(3),
+                max_cycles: cap,
+                adaptive: Some(false),
+                shard_plan: Some(plan.clone()),
+                // Keep the skew in place for the whole run.
+                shard_rebalance_window: Some(1 << 40),
+                ..RunOpts::default()
+            },
+        );
+        assert_eq!(r.stats, want.stats, "plan {plan:?} diverged");
+    }
+}
+
+/// A rebalance window far below the default forces many mid-run plan
+/// recomputations from live load measurements; none of them may perturb
+/// the statistics.
+#[test]
+fn frequent_rebalancing_matches_sequential() {
+    use caps_workloads::Workload;
+    let spec = RunSpec::small(Workload::Scn, Engine::Caps);
+    let want = seq_stats(&spec, None);
+    let r = run_one_with_opts(
+        &spec,
+        &RunOpts {
+            fast_forward: Some(true),
+            sim_threads: Some(4),
+            max_cycles: None,
+            adaptive: Some(false),
+            shard_rebalance_window: Some(64),
+            ..RunOpts::default()
+        },
+    );
+    assert_eq!(r.stats, want.stats);
+}
+
+/// Worker pinning is a host-scheduling concern only: with pinning
+/// explicitly on and explicitly off, statistics are identical.
+#[test]
+fn pinning_choice_matches_sequential() {
+    use caps_workloads::Workload;
+    let spec = RunSpec::small(Workload::Hst, Engine::Baseline);
+    let want = seq_stats(&spec, None);
+    for pin in [false, true] {
+        let r = run_one_with_opts(
+            &spec,
+            &RunOpts {
+                fast_forward: Some(true),
+                sim_threads: Some(2),
+                max_cycles: None,
+                adaptive: Some(false),
+                pin: Some(pin),
+                ..RunOpts::default()
+            },
+        );
+        assert_eq!(r.stats, want.stats, "pin={pin} diverged");
+    }
+}
+
+/// The adaptive controller may switch between the sequential and
+/// parallel engines mid-run on measured timings; whatever nondeterministic
+/// schedule of switches the host produces, the statistics must not move.
+#[test]
+fn adaptive_engine_selection_matches_sequential() {
+    use caps_workloads::Workload;
+    let spec = RunSpec::small(Workload::Fft, Engine::Caps);
+    let want = seq_stats(&spec, None);
+    let r = run_one_with_opts(
+        &spec,
+        &RunOpts {
+            fast_forward: Some(true),
+            sim_threads: Some(4),
+            max_cycles: None,
+            adaptive: Some(true),
+            ..RunOpts::default()
+        },
+    );
+    assert_eq!(r.stats, want.stats);
 }
